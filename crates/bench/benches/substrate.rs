@@ -1,0 +1,139 @@
+//! Criterion benchmarks of the substrate hot paths: the device model,
+//! the MNA solver, transient stepping, placement and pairing. These
+//! track the performance of the machinery that regenerates the paper's
+//! tables.
+
+use criterion::{Criterion, criterion_group, criterion_main};
+use std::hint::black_box;
+
+use merge::{MergeOptions, Strategy};
+use mtj::{MtjParams, SwitchingModel};
+use netlist::{CellLibrary, benchmarks};
+use place::placer::{self, PlacerOptions};
+use spice::{Circuit, SourceWaveform, Technology, analysis};
+use units::{Capacitance, Current, Resistance, Time, Voltage};
+
+fn bench_mosfet_model(c: &mut Criterion) {
+    let tech = Technology::tsmc40lp();
+    c.bench_function("mosfet_evaluate", |b| {
+        b.iter(|| {
+            let op = tech
+                .nmos
+                .evaluate(black_box(0.8), black_box(0.6), black_box(0.0), 200e-9, 40e-9);
+            black_box(op.id)
+        });
+    });
+}
+
+fn bench_mtj_switching(c: &mut Criterion) {
+    let params = MtjParams::date2018();
+    let model = SwitchingModel::new(&params);
+    c.bench_function("mtj_switching_time", |b| {
+        b.iter(|| {
+            black_box(model.mean_switching_time(black_box(Current::from_micro_amps(63.0))))
+        });
+    });
+}
+
+fn rc_ladder(stages: usize) -> Circuit {
+    let mut ckt = Circuit::new();
+    let mut prev = ckt.node("in");
+    ckt.add_voltage_source(
+        "VIN",
+        prev,
+        Circuit::GROUND,
+        SourceWaveform::dc(Voltage::from_volts(1.0)),
+    )
+    .expect("source");
+    for k in 0..stages {
+        let next = ckt.node(&format!("n{k}"));
+        ckt.add_resistor(
+            &format!("R{k}"),
+            prev,
+            next,
+            Resistance::from_kilo_ohms(1.0),
+        )
+        .expect("resistor");
+        ckt.add_capacitor(
+            &format!("C{k}"),
+            next,
+            Circuit::GROUND,
+            Capacitance::from_femto_farads(10.0),
+        )
+        .expect("capacitor");
+        prev = next;
+    }
+    ckt
+}
+
+fn bench_transient(c: &mut Criterion) {
+    c.bench_function("transient_rc_ladder_20", |b| {
+        b.iter(|| {
+            let mut ckt = rc_ladder(20);
+            let res = analysis::transient(
+                &mut ckt,
+                Time::from_nano_seconds(1.0),
+                Time::from_pico_seconds(10.0),
+            )
+            .expect("transient");
+            black_box(res.sample_count())
+        });
+    });
+}
+
+fn bench_operating_point(c: &mut Criterion) {
+    c.bench_function("op_rc_ladder_50", |b| {
+        b.iter(|| {
+            let mut ckt = rc_ladder(50);
+            black_box(analysis::op(&mut ckt).expect("op"))
+        });
+    });
+}
+
+fn bench_placement(c: &mut Criterion) {
+    let spec = benchmarks::by_name("s5378").expect("benchmark");
+    let netlist = benchmarks::generate_scaled(spec, 2779);
+    let lib = CellLibrary::n40();
+    c.bench_function("place_s5378", |b| {
+        b.iter(|| {
+            black_box(placer::place(
+                &netlist,
+                &lib,
+                &PlacerOptions {
+                    refine_passes: 0,
+                    ..PlacerOptions::default()
+                },
+            ))
+        });
+    });
+}
+
+fn bench_pairing(c: &mut Criterion) {
+    let spec = benchmarks::by_name("s13207").expect("benchmark");
+    let netlist = benchmarks::generate_scaled(spec, 8000);
+    let lib = CellLibrary::n40();
+    let placed = placer::place(&netlist, &lib, &PlacerOptions::default());
+    c.bench_function("merge_pairing_s13207", |b| {
+        b.iter(|| {
+            black_box(merge::plan(
+                &placed,
+                &MergeOptions {
+                    strategy: Strategy::GreedyClosest,
+                    ..MergeOptions::default()
+                },
+            ))
+        });
+    });
+}
+
+criterion_group!(
+    name = substrate;
+    config = Criterion::default().sample_size(20);
+    targets = bench_mosfet_model,
+        bench_mtj_switching,
+        bench_transient,
+        bench_operating_point,
+        bench_placement,
+        bench_pairing
+);
+criterion_main!(substrate);

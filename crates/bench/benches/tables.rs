@@ -1,0 +1,83 @@
+//! Criterion benchmarks of the table/figure regeneration paths —
+//! one per experiment, exercising exactly the code the report binaries
+//! run (at reduced scope so a `cargo bench` pass stays minutes-scale).
+
+use criterion::{Criterion, criterion_group, criterion_main};
+use std::hint::black_box;
+
+use cells::{LatchConfig, ProposedLatch, StandardLatch};
+use layout::{DesignRules, cells as nv_cells, svg};
+use netlist::{CellLibrary, benchmarks};
+use nvff::system::{self, EvaluationMode, SystemCosts};
+use place::placer::{self, PlacerOptions};
+
+/// Table I: setup assembly and formatting.
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("table1_setup", |b| {
+        b.iter(|| black_box(cells::CircuitSetup::date2018().to_string()));
+    });
+}
+
+/// Table II (one restore of each design at the typical corner — the
+/// unit of work the corner sweep repeats).
+fn bench_table2(c: &mut Criterion) {
+    let config = LatchConfig::default();
+    c.bench_function("table2_standard_restore", |b| {
+        let latch = StandardLatch::new(config.clone());
+        b.iter(|| black_box(latch.simulate_restore([true]).expect("restore")));
+    });
+    c.bench_function("table2_proposed_restore", |b| {
+        let latch = ProposedLatch::new(config.clone());
+        b.iter(|| black_box(latch.simulate_restore([true, false]).expect("restore")));
+    });
+}
+
+/// Table III: replay of all rows, and the measured flow on s344.
+fn bench_table3(c: &mut Criterion) {
+    let costs = SystemCosts::paper();
+    c.bench_function("table3_replay_all", |b| {
+        b.iter(|| black_box(system::table3(&costs, EvaluationMode::Replay)));
+    });
+    let spec = benchmarks::by_name("s344").expect("benchmark");
+    c.bench_function("table3_measured_s344", |b| {
+        b.iter(|| black_box(system::evaluate_measured(spec, &costs, usize::MAX)));
+    });
+}
+
+/// Fig. 6: one full restore waveform capture.
+fn bench_fig6(c: &mut Criterion) {
+    let latch = ProposedLatch::new(LatchConfig::default());
+    c.bench_function("fig6_restore_traces", |b| {
+        b.iter(|| black_box(latch.restore_traces([true, false]).expect("traces")));
+    });
+}
+
+/// Fig. 8: layout synthesis and SVG rendering.
+fn bench_fig8(c: &mut Criterion) {
+    let rules = DesignRules::n40();
+    c.bench_function("fig8_layout_and_svg", |b| {
+        b.iter(|| {
+            let layout = nv_cells::proposed_2bit_layout(&rules);
+            black_box(svg::render(&layout, 220.0))
+        });
+    });
+}
+
+/// Fig. 9: place-and-merge on s344.
+fn bench_fig9(c: &mut Criterion) {
+    let netlist = benchmarks::generate(benchmarks::by_name("s344").expect("benchmark"));
+    let lib = CellLibrary::n40();
+    c.bench_function("fig9_place_and_merge_s344", |b| {
+        b.iter(|| {
+            let placed = placer::place(&netlist, &lib, &PlacerOptions::default());
+            black_box(merge::plan(&placed, &merge::MergeOptions::default()))
+        });
+    });
+}
+
+criterion_group!(
+    name = tables;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table1, bench_table2, bench_table3, bench_fig6, bench_fig8, bench_fig9
+);
+criterion_main!(tables);

@@ -1,0 +1,78 @@
+//! Regenerates **Fig. 6** (and Fig. 7's optimized variant) — the
+//! working sequences of the proposed multi-bit latch: the store phase's
+//! write-current pulse and the restore phase's pre-charge/evaluate
+//! cadence, as ASCII waveforms plus CSV dumps in `target/figures/`.
+//!
+//! Usage: `fig6 [--explicit]` (default uses the Fig. 7 optimized
+//! controller; `--explicit` the three-signal Fig. 6 scheme).
+
+use cells::proposed::ControlScheme;
+use cells::{LatchConfig, ProposedLatch};
+use nvff_bench::{ascii_waveform, traces_to_csv};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scheme = if std::env::args().any(|a| a == "--explicit") {
+        ControlScheme::Explicit
+    } else {
+        ControlScheme::Optimized
+    };
+    let latch = ProposedLatch::with_scheme(LatchConfig::default(), scheme);
+    let out_dir = std::path::Path::new("target/figures");
+    std::fs::create_dir_all(out_dir)?;
+
+    // ---- Restore sequence (Fig. 6b) --------------------------------
+    println!("FIG 6(b): RESTORE SEQUENCE — stored bits [1, 0], {scheme:?} controller\n");
+    let (result, controls) = latch.restore_traces([true, false])?;
+    let times = result.times();
+    let mut csv_traces = Vec::new();
+    let mut keep = Vec::new();
+    for node in ["pcv_b", "pcg", "ren", "sel_b", "mtj_read", "mtj_read_b"] {
+        let trace = result.node(node)?;
+        keep.push((node, trace.values().to_vec()));
+    }
+    for (node, values) in &keep {
+        println!("{}", ascii_waveform(node, times, values, 96, 6));
+        csv_traces.push((*node, values.as_slice()));
+    }
+    let csv = traces_to_csv(times, &csv_traces);
+    let restore_path = out_dir.join("fig6_restore.csv");
+    std::fs::write(&restore_path, csv)?;
+    println!(
+        "evaluation windows: lower pair {} → {}, upper pair {} → {}",
+        controls.eval0_start, controls.eval0_end, controls.eval1_start, controls.eval1_end
+    );
+    println!("csv: {}\n", restore_path.display());
+
+    // ---- Store sequence (Fig. 6a) ----------------------------------
+    println!("FIG 6(a): STORE SEQUENCE — writing [1, 0] over [0, 1]\n");
+    let (store_result, store_controls) = latch.store_traces([true, false], [false, true])?;
+    let times = store_result.times();
+    let mut keep = Vec::new();
+    for node in ["wen", "a3", "a4", "tl", "tr"] {
+        let trace = store_result.node(node)?;
+        keep.push((node, trace.values().to_vec()));
+    }
+    for (node, values) in &keep {
+        println!("{}", ascii_waveform(node, times, values, 96, 6));
+    }
+    println!("MTJ reversal events:");
+    for ev in store_result.mtj_events() {
+        println!("  t = {:>8}  {} → {}", ev.time, ev.device, ev.state);
+    }
+    let csv = traces_to_csv(
+        times,
+        &keep
+            .iter()
+            .map(|(n, v)| (*n, v.as_slice()))
+            .collect::<Vec<_>>(),
+    );
+    let store_path = out_dir.join("fig6_store.csv");
+    std::fs::write(&store_path, csv)?;
+    println!(
+        "write window {} → {}; csv: {}",
+        store_controls.write_start,
+        store_controls.write_end,
+        store_path.display()
+    );
+    Ok(())
+}

@@ -1,0 +1,129 @@
+//! Regenerates **Fig. 9** — the s344 floorplan with mergeable flip-flop
+//! pairs encircled, written as an SVG into `target/figures/`, plus the
+//! merge statistics for every benchmark at the default threshold.
+
+use std::fmt::Write as _;
+
+use merge::{MergeOptions, Strategy};
+use netlist::{CellLibrary, benchmarks};
+use place::placer::{self, PlacerOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out_dir = std::path::Path::new("target/figures");
+    std::fs::create_dir_all(out_dir)?;
+
+    // ---- The floorplan picture (s344, as in the paper) -------------
+    let spec = benchmarks::by_name("s344").expect("s344 exists");
+    let netlist = benchmarks::generate(spec);
+    let lib = CellLibrary::n40();
+    let placed = placer::place(&netlist, &lib, &PlacerOptions::default());
+    let options = MergeOptions::default();
+    let plan = merge::plan(&placed, &options);
+
+    println!("FIG 9: s344 FLOORPLAN");
+    println!(
+        "die {:.2} × {:.2} µm, {} rows, {} cells, {} flip-flops",
+        placed.floorplan().die_width().micro_meters(),
+        placed.floorplan().die_height().micro_meters(),
+        placed.floorplan().rows(),
+        placed.cells().len(),
+        plan.total_flip_flops(),
+    );
+    println!(
+        "mergeable pairs within {}: {} (paper found {})",
+        options.threshold,
+        plan.merged_pairs(),
+        spec.paper_merged_pairs
+    );
+
+    let svg = render_floorplan(&placed, &plan, &lib);
+    let path = out_dir.join("fig9_s344_floorplan.svg");
+    std::fs::write(&path, svg)?;
+    println!("svg: {}\n", path.display());
+
+    // ---- Merge statistics across all benchmarks --------------------
+    println!("merge statistics at threshold {} (greedy-closest):", options.threshold);
+    for spec in benchmarks::Benchmark::ALL {
+        let n = benchmarks::generate_scaled(spec, 40_000);
+        let placed = placer::place(&n, &lib, &PlacerOptions::default());
+        let plan = merge::plan(
+            &placed,
+            &MergeOptions {
+                threshold: options.threshold,
+                strategy: Strategy::GreedyClosest,
+            },
+        );
+        println!(
+            "  {:<8} ffs {:>5}  pairs {:>5}  coverage {:>5.1} %  (paper pairs {:>5})",
+            spec.name,
+            plan.total_flip_flops(),
+            plan.merged_pairs(),
+            plan.merge_fraction() * 100.0,
+            spec.paper_merged_pairs,
+        );
+    }
+    Ok(())
+}
+
+/// Renders the placed design: combinational cells grey, flip-flops
+/// blue, merged pairs encircled in red (the paper's presentation).
+fn render_floorplan(
+    placed: &place::PlacedDesign,
+    plan: &merge::MergePlan,
+    lib: &CellLibrary,
+) -> String {
+    let scale = 14.0; // px per µm
+    let w = placed.floorplan().die_width().micro_meters() * scale;
+    let h = placed.floorplan().die_height().micro_meters() * scale;
+    let row_h = placed.floorplan().row_height().micro_meters() * scale;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{:.0}\" height=\"{:.0}\" \
+         viewBox=\"-10 -10 {:.0} {:.0}\">",
+        w + 20.0,
+        h + 20.0,
+        w + 20.0,
+        h + 20.0
+    );
+    let _ = writeln!(
+        out,
+        "  <rect x=\"0\" y=\"0\" width=\"{w:.1}\" height=\"{h:.1}\" fill=\"#fafafa\" \
+         stroke=\"#333\"/>"
+    );
+    let flip = |y_um: f64| h - (y_um * scale) - row_h;
+    for cell in placed.cells() {
+        let cw = lib.footprint(cell.kind).width.micro_meters() * scale;
+        let (fill, stroke) = if cell.kind.is_flip_flop() {
+            ("#4d7fd1", "#1d3f7a")
+        } else {
+            ("#d9d9d9", "#bbbbbb")
+        };
+        let _ = writeln!(
+            out,
+            "  <rect x=\"{:.1}\" y=\"{:.1}\" width=\"{:.1}\" height=\"{:.1}\" \
+             fill=\"{fill}\" stroke=\"{stroke}\" stroke-width=\"0.5\"/>",
+            cell.x.micro_meters() * scale,
+            flip(cell.y.micro_meters()),
+            cw.max(1.0),
+            row_h,
+        );
+    }
+    // Encircle merged pairs.
+    let ff_w = lib.footprint(netlist::CellKind::Dff).width.micro_meters() * scale;
+    for pair in plan.pairs() {
+        let a = &plan.points()[pair.a];
+        let b = &plan.points()[pair.b];
+        let cx = (a.x + b.x) / 2.0 * scale + ff_w / 2.0;
+        let cy = (flip(a.y) + flip(b.y)) / 2.0 + row_h / 2.0;
+        let r = (pair.distance * scale / 2.0 + ff_w / 2.0 + 4.0).max(row_h * 0.7);
+        let _ = writeln!(
+            out,
+            "  <ellipse cx=\"{cx:.1}\" cy=\"{cy:.1}\" rx=\"{r:.1}\" ry=\"{:.1}\" \
+             fill=\"none\" stroke=\"#d43a3a\" stroke-width=\"2\"/>",
+            (row_h * 0.8).max(r * 0.5),
+        );
+    }
+    out.push_str("</svg>\n");
+    out
+}

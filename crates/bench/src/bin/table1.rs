@@ -1,0 +1,13 @@
+//! Regenerates **Table I** — the circuit-level setup.
+
+fn main() {
+    let setup = cells::CircuitSetup::date2018();
+    println!("TABLE I: CIRCUIT-LEVEL SETUP");
+    println!("{setup}");
+    println!("CMOS process: 40 nm LP class, VDD {:.1} V", setup.tech.vdd);
+    println!(
+        "MTJ retention (Δ = {:.0}): {}",
+        setup.mtj.thermal_stability(),
+        setup.mtj.retention_time()
+    );
+}

@@ -1,0 +1,137 @@
+//! Shared report formatting for the benchmark harness binaries.
+//!
+//! Each binary regenerates one table or figure of the paper:
+//!
+//! | target | regenerates |
+//! |---|---|
+//! | `table1` | Table I — circuit-level setup |
+//! | `table2` | Table II — cell comparison across corners |
+//! | `table3` | Table III — system-level results (replay + measured) |
+//! | `fig6`   | Fig. 6 — store/restore working sequences (waveforms) |
+//! | `fig8`   | Fig. 8 — layout of the proposed 2-bit cell (SVG) |
+//! | `fig9`   | Fig. 9 — s344 floorplan with mergeable flip-flops (SVG) |
+//! | `ablations` | the design-choice studies listed in DESIGN.md |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Formats a measured-vs-paper comparison line: value, reference, and
+/// the ratio between them.
+///
+/// # Examples
+///
+/// ```
+/// let line = nvff_bench::compare_line("read energy [fJ]", 4.9, 4.587);
+/// assert!(line.contains("4.9"));
+/// assert!(line.contains("1.07"));
+/// ```
+#[must_use]
+pub fn compare_line(label: &str, measured: f64, paper: f64) -> String {
+    let ratio = if paper != 0.0 { measured / paper } else { f64::NAN };
+    format!("{label:<34} measured {measured:>10.3}   paper {paper:>10.3}   ratio {ratio:>5.2}")
+}
+
+/// Renders an ASCII waveform strip: the trace resampled to `width`
+/// columns, quantized to `height` rows (top row = `max`).
+///
+/// # Panics
+///
+/// Panics if `width` or `height` is zero or the trace is empty.
+#[must_use]
+pub fn ascii_waveform(name: &str, times: &[f64], values: &[f64], width: usize, height: usize) -> String {
+    assert!(width > 0 && height > 0, "width and height must be positive");
+    assert!(!times.is_empty(), "empty trace");
+    let t0 = times[0];
+    let t1 = *times.last().expect("nonempty");
+    let vmin = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let vmax = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = (vmax - vmin).max(1e-12);
+    let mut grid = vec![vec![' '; width]; height];
+    for (col, _) in (0..width).enumerate() {
+        let t = t0 + (t1 - t0) * col as f64 / (width - 1).max(1) as f64;
+        let v = spice::measure::interpolate(times, values, t);
+        let row = ((vmax - v) / span * (height - 1) as f64).round() as usize;
+        grid[row.min(height - 1)][col] = '•';
+    }
+    let mut out = String::new();
+    for (r, row) in grid.iter().enumerate() {
+        let label = if r == 0 {
+            format!("{vmax:>7.2} ")
+        } else if r == height - 1 {
+            format!("{vmin:>7.2} ")
+        } else {
+            " ".repeat(8)
+        };
+        out.push_str(&label);
+        out.push('|');
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>8} {}\n", "", name));
+    out
+}
+
+/// Writes trace columns as CSV (`time` plus one column per trace).
+///
+/// # Panics
+///
+/// Panics if the traces have different lengths.
+#[must_use]
+pub fn traces_to_csv(times: &[f64], traces: &[(&str, &[f64])]) -> String {
+    use std::fmt::Write as _;
+    for (name, values) in traces {
+        assert_eq!(values.len(), times.len(), "trace {name} length mismatch");
+    }
+    let mut out = String::from("time_s");
+    for (name, _) in traces {
+        out.push(',');
+        out.push_str(name);
+    }
+    out.push('\n');
+    for (k, t) in times.iter().enumerate() {
+        let _ = write!(out, "{t:.6e}");
+        for (_, values) in traces {
+            let _ = write!(out, ",{:.6e}", values[k]);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compare_line_formats() {
+        let line = compare_line("x", 2.0, 4.0);
+        assert!(line.contains("0.50"));
+        assert!(compare_line("x", 1.0, 0.0).contains("NaN"));
+    }
+
+    #[test]
+    fn ascii_waveform_spans_the_range() {
+        let times: Vec<f64> = (0..10).map(f64::from).collect();
+        let values: Vec<f64> = (0..10).map(|k| f64::from(k % 2)).collect();
+        let art = ascii_waveform("clk", &times, &values, 20, 5);
+        assert!(art.contains('•'));
+        assert!(art.contains("1.00"));
+        assert!(art.contains("0.00"));
+        assert!(art.contains("clk"));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty trace")]
+    fn empty_trace_panics() {
+        let _ = ascii_waveform("x", &[], &[], 10, 5);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = traces_to_csv(&[0.0, 1.0], &[("a", &[1.0, 2.0][..]), ("b", &[3.0, 4.0][..])]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "time_s,a,b");
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].starts_with("0.0"));
+    }
+}

@@ -1,0 +1,84 @@
+//! Error type for cell construction and characterization.
+
+use core::fmt;
+use std::error::Error;
+
+use spice::SpiceError;
+
+/// Errors reported by latch simulation and metric extraction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellError {
+    /// The underlying circuit simulation failed.
+    Simulation(SpiceError),
+    /// A restore simulation finished without the outputs resolving to
+    /// complementary logic levels.
+    SenseFailure {
+        /// Which bit's read failed (0-based).
+        bit: usize,
+        /// Final voltage of the true output, volts.
+        q: f64,
+        /// Final voltage of the complement output, volts.
+        qb: f64,
+    },
+    /// A store simulation finished with an MTJ pair not holding the
+    /// intended complementary states.
+    StoreFailure {
+        /// Which bit's write failed (0-based).
+        bit: usize,
+    },
+    /// A measurement could not be taken (e.g. an output never crossed
+    /// the sensing threshold inside the evaluation window).
+    MeasurementFailure {
+        /// What was being measured.
+        what: String,
+    },
+}
+
+impl fmt::Display for CellError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Simulation(e) => write!(f, "circuit simulation failed: {e}"),
+            Self::SenseFailure { bit, q, qb } => write!(
+                f,
+                "restore of bit {bit} did not resolve: q = {q:.3} V, qb = {qb:.3} V"
+            ),
+            Self::StoreFailure { bit } => {
+                write!(f, "store of bit {bit} left a non-complementary MTJ pair")
+            }
+            Self::MeasurementFailure { what } => write!(f, "could not measure {what}"),
+        }
+    }
+}
+
+impl Error for CellError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Simulation(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SpiceError> for CellError {
+    fn from(e: SpiceError) -> Self {
+        Self::Simulation(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_context() {
+        let e = CellError::SenseFailure {
+            bit: 1,
+            q: 0.5,
+            qb: 0.6,
+        };
+        assert!(e.to_string().contains("bit 1"));
+        let e = CellError::from(SpiceError::UnknownTrace { name: "q".into() });
+        assert!(e.to_string().contains("q"));
+        assert!(e.source().is_some());
+    }
+}

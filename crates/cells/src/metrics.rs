@@ -1,0 +1,381 @@
+//! Circuit-metric extraction: the quantities of the paper's Table II
+//! (read energy, read delay, leakage, transistor count) plus write
+//! energy/latency, evaluated per corner and summarized as
+//! worst/typical/best envelopes over the full corner grid.
+
+use spice::measure::Edge;
+use spice::result::Trace;
+use units::{Energy, Power, Time};
+
+use crate::config::{Corner, LatchConfig};
+use crate::error::CellError;
+use crate::proposed::ProposedLatch;
+use crate::standard::StandardLatch;
+
+/// Outcome of a restore (read) simulation over `N` bits.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RestoreOutcome<const N: usize> {
+    /// The recovered logic values, in read order.
+    pub bits: [bool; N],
+    /// Sense delay of each evaluation, measured from its own
+    /// sense-enable edge to the deciding output crossing VDD/2.
+    pub sense_delays: [Time; N],
+    /// Total read delay: the sum of the sense delays (the paper's
+    /// definition — sequential reads double it).
+    pub read_delay: Time,
+    /// Wall-clock span from the first evaluation's start to the last
+    /// evaluation's end (includes intermediate pre-charge).
+    pub sequence_duration: Time,
+    /// Total active energy drawn from all rails *and* control drivers.
+    pub energy: Energy,
+    /// Energy drawn from the VDD supply alone — the paper's read-energy
+    /// metric (control signals belong to the global power-down
+    /// controller and are excluded there).
+    pub supply_energy: Energy,
+}
+
+/// Outcome of a store (write) simulation over `N` bits.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StoreOutcome<const N: usize> {
+    /// The bits now held by the NV pairs.
+    pub stored: [bool; N],
+    /// Energy drawn from pulse start until the store *completed* (last
+    /// MTJ reversal plus a small settling margin) — the paper's write
+    /// energy. The drive pulse itself is sized for the worst corner, so
+    /// energy over the full pulse is pessimistic; see `pulse_energy`.
+    pub energy: Energy,
+    /// Energy drawn over the entire drive pulse.
+    pub pulse_energy: Energy,
+    /// Time from the write-pulse start to the last MTJ reversal (zero if
+    /// the data was already held).
+    pub latency: Time,
+    /// Number of MTJ reversals observed.
+    pub switch_count: usize,
+}
+
+/// Resolves a complementary output pair to a logic value, or `None` if
+/// the outputs have not separated to valid levels (sense failure).
+#[must_use]
+pub fn resolve_bit(q: f64, qb: f64, vdd: f64) -> Option<bool> {
+    let hi = 0.7 * vdd;
+    let lo = 0.3 * vdd;
+    if q > hi && qb < lo {
+        Some(true)
+    } else if q < lo && qb > hi {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+/// Measures a sense delay: the first crossing of `vdd/2` by the deciding
+/// output after the evaluation starts.
+///
+/// # Errors
+///
+/// [`CellError::MeasurementFailure`] if no crossing lies inside the
+/// evaluation window.
+pub fn sense_delay(
+    deciding: Trace<'_>,
+    vdd: f64,
+    edge: Edge,
+    eval_start: Time,
+    eval_end: Time,
+    what: &str,
+) -> Result<Time, CellError> {
+    let cross = deciding
+        .first_crossing(vdd / 2.0, edge, eval_start)
+        .filter(|&t| t <= eval_end)
+        .ok_or_else(|| CellError::MeasurementFailure { what: what.into() })?;
+    Ok(cross - eval_start)
+}
+
+/// Extracts write energy (to completion and over the full pulse) and
+/// latency from a store transient.
+pub(crate) fn store_energies(
+    result: &spice::TransientResult,
+    controls: &crate::control::StoreControls,
+) -> (Energy, Energy, Time) {
+    let last_event = result
+        .mtj_events()
+        .iter()
+        .map(|e| e.time)
+        .fold(Time::ZERO, Time::max);
+    let latency = (last_event - controls.write_start).max(Time::ZERO);
+    let pulse_energy = result.total_source_energy(Time::ZERO, controls.total);
+    let energy = if result.mtj_events().is_empty() {
+        Energy::ZERO
+    } else {
+        // Completion margin: one tenth of the elapsed write time.
+        let until = last_event + latency * 0.1;
+        result.total_source_energy(controls.write_start, until)
+    };
+    (energy, pulse_energy, latency)
+}
+
+/// The per-design circuit metrics reported by Table II, normalized to a
+/// two-bit storage granule (the paper doubles the single-bit standard
+/// cell for a fair comparison).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellMetrics {
+    /// Active energy of reading two bits.
+    pub read_energy: Energy,
+    /// Read delay (sum of sense delays over the two bits).
+    pub read_delay: Time,
+    /// Static power of the idle cell(s).
+    pub leakage: Power,
+    /// Write energy for storing two bits (worst-case data pattern: all
+    /// four MTJs flip).
+    pub write_energy: Energy,
+    /// Write latency (last reversal).
+    pub write_latency: Time,
+    /// Read-path transistor count (Table II excludes write components).
+    pub read_transistors: usize,
+}
+
+/// Characterizes two standard 1-bit latches at a corner (the Table II
+/// baseline): single-cell metrics are measured and doubled, except the
+/// delay, which is a single sense evaluation.
+///
+/// Read metrics are averaged over both stored-bit values.
+///
+/// # Errors
+///
+/// Propagates any [`CellError`] from the underlying simulations.
+pub fn characterize_standard_pair(config: &LatchConfig) -> Result<CellMetrics, CellError> {
+    let latch = StandardLatch::new(config.clone());
+    let r0 = latch.simulate_restore([false])?;
+    let r1 = latch.simulate_restore([true])?;
+    let read_energy = (r0.supply_energy + r1.supply_energy) * 0.5 * 2.0; // avg per cell × 2
+    let read_delay = (r0.read_delay + r1.read_delay) * 0.5; // parallel cells: 1 sense
+    let w = latch.simulate_store([true], [false])?;
+    Ok(CellMetrics {
+        read_energy,
+        read_delay,
+        leakage: latch.leakage()? * 2.0,
+        write_energy: w.energy * 2.0,
+        write_latency: w.latency,
+        read_transistors: latch.read_path_transistors() * 2,
+    })
+}
+
+/// Characterizes the proposed 2-bit latch at a corner. Read metrics are
+/// averaged over all four stored patterns.
+///
+/// # Errors
+///
+/// Propagates any [`CellError`] from the underlying simulations.
+pub fn characterize_proposed(config: &LatchConfig) -> Result<CellMetrics, CellError> {
+    let latch = ProposedLatch::new(config.clone());
+    let patterns = [[false, false], [false, true], [true, false], [true, true]];
+    let mut energy = Energy::ZERO;
+    let mut delay = Time::ZERO;
+    for p in patterns {
+        let r = latch.simulate_restore(p)?;
+        energy += r.supply_energy;
+        delay += r.read_delay;
+    }
+    let w = latch.simulate_store([true, false], [false, true])?;
+    Ok(CellMetrics {
+        read_energy: energy / patterns.len() as f64,
+        read_delay: delay / patterns.len() as f64,
+        leakage: latch.leakage()?,
+        write_energy: w.energy,
+        write_latency: w.latency,
+        read_transistors: latch.read_path_transistors(),
+    })
+}
+
+/// Worst/typical/best envelope of one scalar metric over the corner grid
+/// (the paper's Table II column structure).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CornerEnvelope {
+    /// Largest (least favourable) value observed over all corners.
+    pub worst: f64,
+    /// Value at the all-typical corner.
+    pub typical: f64,
+    /// Smallest (most favourable) value observed.
+    pub best: f64,
+}
+
+impl CornerEnvelope {
+    /// Builds an envelope from per-corner values paired with their
+    /// corners.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty or contains no typical corner.
+    #[must_use]
+    pub fn from_corner_values(values: &[(Corner, f64)]) -> Self {
+        assert!(!values.is_empty(), "no corner values");
+        let typical = values
+            .iter()
+            .find(|(c, _)| *c == Corner::typical())
+            .map(|&(_, v)| v)
+            .expect("corner grid must include the typical corner");
+        let worst = values.iter().map(|&(_, v)| v).fold(f64::MIN, f64::max);
+        let best = values.iter().map(|&(_, v)| v).fold(f64::MAX, f64::min);
+        Self {
+            worst,
+            typical,
+            best,
+        }
+    }
+}
+
+/// The full Table II comparison: both designs characterized over the
+/// corner grid, with per-metric envelopes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatchComparison {
+    /// Per-corner metrics of two standard 1-bit cells.
+    pub standard: Vec<(Corner, CellMetrics)>,
+    /// Per-corner metrics of the proposed 2-bit cell.
+    pub proposed: Vec<(Corner, CellMetrics)>,
+}
+
+impl LatchComparison {
+    /// Runs both designs over the given corners (typically
+    /// [`Corner::all`]). Corners are independent, so they are
+    /// characterized on parallel threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`CellError`] encountered (in corner order).
+    pub fn evaluate(base: &LatchConfig, corners: &[Corner]) -> Result<Self, CellError> {
+        let results: Vec<Result<(Corner, CellMetrics, CellMetrics), CellError>> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = corners
+                    .iter()
+                    .map(|&corner| {
+                        let cfg = base.at_corner(corner);
+                        scope.spawn(move || {
+                            let std_m = characterize_standard_pair(&cfg)?;
+                            let prop_m = characterize_proposed(&cfg)?;
+                            Ok((corner, std_m, prop_m))
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("corner thread must not panic"))
+                    .collect()
+            });
+        let mut standard = Vec::with_capacity(corners.len());
+        let mut proposed = Vec::with_capacity(corners.len());
+        for result in results {
+            let (corner, std_m, prop_m) = result?;
+            standard.push((corner, std_m));
+            proposed.push((corner, prop_m));
+        }
+        Ok(Self { standard, proposed })
+    }
+
+    /// Envelope of a metric over the standard design's corners.
+    #[must_use]
+    pub fn standard_envelope(&self, metric: impl Fn(&CellMetrics) -> f64) -> CornerEnvelope {
+        let v: Vec<(Corner, f64)> = self
+            .standard
+            .iter()
+            .map(|(c, m)| (*c, metric(m)))
+            .collect();
+        CornerEnvelope::from_corner_values(&v)
+    }
+
+    /// Envelope of a metric over the proposed design's corners.
+    #[must_use]
+    pub fn proposed_envelope(&self, metric: impl Fn(&CellMetrics) -> f64) -> CornerEnvelope {
+        let v: Vec<(Corner, f64)> = self
+            .proposed
+            .iter()
+            .map(|(c, m)| (*c, metric(m)))
+            .collect();
+        CornerEnvelope::from_corner_values(&v)
+    }
+
+    /// Typical-corner read-energy improvement of the proposed design,
+    /// as a fraction (the paper reports ≈ 19 %).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the typical corner was not evaluated.
+    #[must_use]
+    pub fn read_energy_improvement(&self) -> f64 {
+        let s = self
+            .standard
+            .iter()
+            .find(|(c, _)| *c == Corner::typical())
+            .expect("typical corner evaluated")
+            .1
+            .read_energy;
+        let p = self
+            .proposed
+            .iter()
+            .find(|(c, _)| *c == Corner::typical())
+            .expect("typical corner evaluated")
+            .1
+            .read_energy;
+        1.0 - p / s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_bit_levels() {
+        assert_eq!(resolve_bit(1.05, 0.02, 1.1), Some(true));
+        assert_eq!(resolve_bit(0.02, 1.05, 1.1), Some(false));
+        assert_eq!(resolve_bit(0.6, 0.5, 1.1), None); // unresolved
+        assert_eq!(resolve_bit(1.05, 1.0, 1.1), None); // both high
+    }
+
+    #[test]
+    fn envelope_extracts_extremes_and_typical() {
+        let values = vec![
+            (Corner::slow(), 5.0),
+            (Corner::typical(), 3.0),
+            (Corner::fast(), 2.0),
+        ];
+        let e = CornerEnvelope::from_corner_values(&values);
+        assert_eq!(e.worst, 5.0);
+        assert_eq!(e.typical, 3.0);
+        assert_eq!(e.best, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "typical corner")]
+    fn envelope_requires_typical() {
+        let _ = CornerEnvelope::from_corner_values(&[(Corner::slow(), 1.0)]);
+    }
+
+    #[test]
+    fn typical_corner_comparison_shows_paper_trends() {
+        let base = LatchConfig::default();
+        let std_m = characterize_standard_pair(&base).expect("standard");
+        let prop_m = characterize_proposed(&base).expect("proposed");
+
+        // Transistor counts are exact (Table II).
+        assert_eq!(std_m.read_transistors, 22);
+        assert_eq!(prop_m.read_transistors, 16);
+
+        // Proposed reads two bits for less energy than two standard cells.
+        assert!(
+            prop_m.read_energy < std_m.read_energy,
+            "proposed {} vs standard {}",
+            prop_m.read_energy,
+            std_m.read_energy
+        );
+
+        // Sequential read: proposed delay is roughly twice the standard.
+        let ratio = prop_m.read_delay / std_m.read_delay;
+        assert!((1.3..3.2).contains(&ratio), "delay ratio = {ratio}");
+
+        // Leakage: proposed at or below the standard pair.
+        assert!(prop_m.leakage.watts() <= std_m.leakage.watts() * 1.05);
+
+        // Write paths are identical: energy within 2×, latency ≈ equal.
+        let w_ratio = prop_m.write_energy / std_m.write_energy;
+        assert!((0.5..1.5).contains(&w_ratio), "write ratio = {w_ratio}");
+    }
+}

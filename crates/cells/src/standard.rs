@@ -1,0 +1,481 @@
+//! The state-of-the-art standard 1-bit non-volatile shadow latch
+//! (paper Fig. 2b).
+//!
+//! Topology: a pre-charge sense amplifier (after Zhao et al., the
+//! paper's reference 28) with the complementary MTJ pair in the
+//! discharge path, isolated from the write drivers by transmission
+//! gates:
+//!
+//! ```text
+//!        VDD ──┬────────┬───────────┬────────┬── VDD
+//!            PCA(pc̄)   P1(g=qb)   P2(g=q)   PCB(pc̄)
+//!              └──── q ──┤├ cross ├┤── qb ───┘
+//!                   N1(g=qb)     N2(g=q)
+//!                    sl │           │ sr
+//!                 T1(sen)│          │T2(sen)
+//!                    w1 │           │ w2
+//!                   MTJ-A │        │ MTJ-B      (complementary pair)
+//!                       └─── wm ───┘
+//!                          NEN(sen)
+//!                           GND
+//! ```
+//!
+//! Write drivers `IA`/`IB` (tristate inverters) push the store current
+//! through `w1 → MTJ-A → wm → MTJ-B → w2` (or the reverse), writing the
+//! pair to opposite states. 11 read-path transistors; the paper's 2-bit
+//! comparison baseline is two of these cells.
+
+use mtj::{Mtj, MtjState, WritePolarity};
+use spice::{Circuit, SourceWaveform, analysis};
+use units::Time;
+
+use crate::config::LatchConfig;
+use crate::control::{self, StandardRestoreControls, StoreControls};
+use crate::error::CellError;
+use crate::metrics::{RestoreOutcome, StoreOutcome, resolve_bit, sense_delay};
+
+/// A standard 1-bit NV shadow latch characterization harness.
+///
+/// The struct owns only the configuration; every simulation builds a
+/// fresh circuit so runs are independent and corner sweeps are trivially
+/// parallel.
+///
+/// # Examples
+///
+/// ```
+/// use cells::{LatchConfig, StandardLatch};
+///
+/// # fn main() -> Result<(), cells::CellError> {
+/// let latch = StandardLatch::new(LatchConfig::default());
+/// let restored = latch.simulate_restore([true])?;
+/// assert_eq!(restored.bits, [true]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct StandardLatch {
+    config: LatchConfig,
+}
+
+/// Node/source names used by the harness (kept in one place so tests and
+/// waveform dumps agree).
+mod names {
+    pub const VDD: &str = "vdd";
+    pub const VDD_SOURCE: &str = "VDD";
+    pub const Q: &str = "q";
+    pub const QB: &str = "qb";
+    pub const MTJ_A: &str = "MTJA";
+    pub const MTJ_B: &str = "MTJB";
+}
+
+impl StandardLatch {
+    /// Creates a harness for the given configuration.
+    #[must_use]
+    pub fn new(config: LatchConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &LatchConfig {
+        &self.config
+    }
+
+    /// Number of read-path transistors (excluding write drivers) — the
+    /// paper counts 11 per bit, 22 for the two-cell baseline.
+    #[must_use]
+    pub fn read_path_transistors(&self) -> usize {
+        let ckt = self
+            .build(&IdleControls::restore_idle(&self.config), [false])
+            .expect("reference build is valid");
+        ckt.devices()
+            .iter()
+            .filter(|d| d.is_transistor() && !d.name().starts_with('I'))
+            .count()
+    }
+
+    /// Total transistor count including the write drivers.
+    #[must_use]
+    pub fn total_transistors(&self) -> usize {
+        let ckt = self
+            .build(&IdleControls::restore_idle(&self.config), [false])
+            .expect("reference build is valid");
+        ckt.transistor_count()
+    }
+
+    /// Simulates the restore (read) phase with the MTJ pair preset to
+    /// hold `stored`, returning the recovered bit, sense delay and
+    /// consumed energy.
+    ///
+    /// # Errors
+    ///
+    /// [`CellError::Simulation`] on solver failure,
+    /// [`CellError::SenseFailure`] if the outputs do not resolve, and
+    /// [`CellError::MeasurementFailure`] if no threshold crossing is
+    /// found inside the evaluation window.
+    pub fn simulate_restore(&self, stored: [bool; 1]) -> Result<RestoreOutcome<1>, CellError> {
+        let (result, controls) = self.restore_traces(stored)?;
+        let vdd = self.config.vdd();
+
+        let q = result.node(names::Q)?;
+        let qb = result.node(names::QB)?;
+        let sample_at = controls.eval_end.seconds();
+        let bit = resolve_bit(q.value_at(sample_at), qb.value_at(sample_at), vdd)
+            .ok_or(CellError::SenseFailure {
+                bit: 0,
+                q: q.value_at(sample_at),
+                qb: qb.value_at(sample_at),
+            })?;
+
+        // The losing output falls from the VDD pre-charge level.
+        let loser = if bit { qb } else { q };
+        let delay = sense_delay(
+            loser,
+            vdd,
+            spice::measure::Edge::Falling,
+            controls.eval_start,
+            controls.eval_end,
+            "standard latch sense delay",
+        )?;
+        Ok(RestoreOutcome {
+            bits: [bit],
+            sense_delays: [delay],
+            read_delay: delay,
+            sequence_duration: controls.eval_end - controls.eval_start,
+            energy: result.total_source_energy(Time::ZERO, controls.total),
+            supply_energy: result.supply_energy(names::VDD_SOURCE, Time::ZERO, controls.total)?,
+        })
+    }
+
+    /// Runs the restore transient and returns the raw waveforms together
+    /// with the control schedule. The simulation cold-starts from 0 V on
+    /// every node — restore happens at wake-up from a power-gated state.
+    ///
+    /// # Errors
+    ///
+    /// [`CellError::Simulation`] on solver failure.
+    pub fn restore_traces(
+        &self,
+        stored: [bool; 1],
+    ) -> Result<(spice::TransientResult, StandardRestoreControls), CellError> {
+        let vdd = self.config.vdd();
+        let controls = control::standard_restore(&self.config.timing, vdd);
+        let mut ckt = self.build(&IdleControls::from_restore(&controls, vdd), stored)?;
+        let options = analysis::TransientOptions {
+            start: analysis::StartCondition::Zero,
+            ..analysis::TransientOptions::default()
+        };
+        let result = analysis::transient_with_options(
+            &mut ckt,
+            controls.total,
+            self.config.time_step,
+            options,
+        )?;
+        Ok((result, controls))
+    }
+
+    /// Simulates the store (write) phase: the MTJ pair starts holding
+    /// `initial` and the write drivers push `data`.
+    ///
+    /// # Errors
+    ///
+    /// [`CellError::Simulation`] on solver failure and
+    /// [`CellError::StoreFailure`] if the pair does not end up holding
+    /// `data` complementarily.
+    pub fn simulate_store(
+        &self,
+        data: [bool; 1],
+        initial: [bool; 1],
+    ) -> Result<StoreOutcome<1>, CellError> {
+        let vdd = self.config.vdd();
+        let controls = control::store(&self.config.timing, vdd);
+        let mut ckt = self.build(&IdleControls::from_store(&controls, vdd, data[0]), initial)?;
+        // Write dynamics are nanosecond-scale; a coarser step suffices.
+        let step = self.config.time_step * 5.0;
+        let result = analysis::transient(&mut ckt, controls.total, step)?;
+
+        let a = ckt.mtj_state(names::MTJ_A).expect("MTJA exists");
+        let b = ckt.mtj_state(names::MTJ_B).expect("MTJB exists");
+        if a != MtjState::from_bit(data[0]) || b != a.toggled() {
+            return Err(CellError::StoreFailure { bit: 0 });
+        }
+        let (energy, pulse_energy, latency) =
+            crate::metrics::store_energies(&result, &controls);
+        Ok(StoreOutcome {
+            stored: [data[0]],
+            energy,
+            pulse_energy,
+            latency,
+            switch_count: result.mtj_events().len(),
+        })
+    }
+
+    /// Static (leakage) power of the idle cell: the total DC power drawn
+    /// from all rails with every control inactive.
+    ///
+    /// # Errors
+    ///
+    /// [`CellError::Simulation`] if the operating point fails.
+    pub fn leakage(&self) -> Result<units::Power, CellError> {
+        let mut ckt = self.build(&IdleControls::restore_idle(&self.config), [false])?;
+        let op = analysis::op(&mut ckt)?;
+        let vdd = self.config.vdd();
+        // Sum v·(−i) over every source; controls at 0 V contribute 0.
+        let mut watts = 0.0;
+        for (name, level) in IdleControls::restore_idle(&self.config).levels(vdd) {
+            if let Some(i) = op.branch_current(&name) {
+                watts += level * -i;
+            }
+        }
+        Ok(units::Power::from_watts(watts))
+    }
+
+    /// Builds the latch circuit with the given control stimulus and the
+    /// MTJ pair preset to hold `stored`.
+    fn build(&self, controls: &IdleControls, stored: [bool; 1]) -> Result<Circuit, CellError> {
+        let cfg = &self.config;
+        let tech = &cfg.tech;
+        let s = &cfg.sizing;
+        let mut ckt = Circuit::new();
+        let gnd = Circuit::GROUND;
+        let vdd = ckt.node(names::VDD);
+        let q = ckt.node(names::Q);
+        let qb = ckt.node(names::QB);
+        let sl = ckt.node("sl");
+        let sr = ckt.node("sr");
+        let w1 = ckt.node("w1");
+        let w2 = ckt.node("w2");
+        let wm = ckt.node("wm");
+        let pc_b = ckt.node("pc_b");
+        let sen = ckt.node("sen");
+        let sen_b = ckt.node("sen_b");
+        let d = ckt.node("d");
+        let db = ckt.node("db");
+        let wen = ckt.node("wen");
+        let wen_b = ckt.node("wen_b");
+
+        for (name, node, wave) in controls.sources(vdd, pc_b, sen, sen_b, d, db, wen, wen_b) {
+            ckt.add_voltage_source(&name, node, gnd, wave)?;
+        }
+
+        // Pre-charge pair.
+        ckt.add_pmos("PCA", q, pc_b, vdd, tech, s.precharge)?;
+        ckt.add_pmos("PCB2", qb, pc_b, vdd, tech, s.precharge)?;
+        // Cross-coupled core.
+        ckt.add_pmos("P1", q, qb, vdd, tech, s.cross_pmos)?;
+        ckt.add_pmos("P2", qb, q, vdd, tech, s.cross_pmos)?;
+        ckt.add_nmos("N1", q, qb, sl, tech, s.cross_nmos)?;
+        ckt.add_nmos("N2", qb, q, sr, tech, s.cross_nmos)?;
+        // Isolation transmission gates.
+        crate::subckt::add_transmission_gate(&mut ckt, "T1", sl, w1, sen, sen_b, tech, s.transmission)?;
+        crate::subckt::add_transmission_gate(&mut ckt, "T2", sr, w2, sen, sen_b, tech, s.transmission)?;
+        // Sense-enable footer.
+        ckt.add_nmos("NEN", wm, sen, gnd, tech, s.sense_enable)?;
+        // Complementary MTJ pair.
+        let state_a = MtjState::from_bit(stored[0]);
+        ckt.add_mtj(
+            names::MTJ_A,
+            w1,
+            wm,
+            Mtj::new(cfg.mtj.clone(), state_a, WritePolarity::PositiveSetsAntiParallel),
+        )?;
+        ckt.add_mtj(
+            names::MTJ_B,
+            wm,
+            w2,
+            Mtj::new(cfg.mtj.clone(), state_a.toggled(), WritePolarity::PositiveSetsParallel),
+        )?;
+        // Write drivers: IA at w1 takes D̄, IB at w2 takes D, so D = 1
+        // pushes current w1 → wm → w2 and stores MTJ-A = AP.
+        crate::subckt::add_tristate_inverter(
+            &mut ckt, "IA", db, w1, wen, wen_b, vdd, gnd, tech, s.write_pmos, s.write_nmos,
+        )?;
+        crate::subckt::add_tristate_inverter(
+            &mut ckt, "IB", d, w2, wen, wen_b, vdd, gnd, tech, s.write_pmos, s.write_nmos,
+        )?;
+        // Output wiring load.
+        ckt.add_capacitor("CQ", q, gnd, s.output_load)?;
+        ckt.add_capacitor("CQB", qb, gnd, s.output_load * (1.0 + s.output_load_mismatch))?;
+        Ok(ckt)
+    }
+}
+
+/// Complete stimulus set for one standard-latch simulation.
+struct IdleControls {
+    vdd_wave: SourceWaveform,
+    pc_b: SourceWaveform,
+    sen: SourceWaveform,
+    sen_b: SourceWaveform,
+    d: SourceWaveform,
+    db: SourceWaveform,
+    wen: SourceWaveform,
+    wen_b: SourceWaveform,
+}
+
+impl IdleControls {
+    /// Everything inactive: used for the leakage operating point.
+    fn restore_idle(config: &LatchConfig) -> Self {
+        Self::restore_idle_at(config.vdd())
+    }
+
+    fn from_restore(controls: &StandardRestoreControls, vdd: f64) -> Self {
+        let mut idle = Self::restore_idle_at(vdd);
+        idle.pc_b = controls.pc_b.clone();
+        idle.sen = controls.sen.clone();
+        idle.sen_b = controls.sen_b.clone();
+        idle
+    }
+
+    fn from_store(controls: &StoreControls, vdd: f64, data: bool) -> Self {
+        let mut idle = Self::restore_idle_at(vdd);
+        idle.wen = controls.wen.clone();
+        idle.wen_b = controls.wen_b.clone();
+        idle.d = SourceWaveform::Dc(if data { vdd } else { 0.0 });
+        idle.db = SourceWaveform::Dc(if data { 0.0 } else { vdd });
+        idle
+    }
+
+    fn restore_idle_at(vdd: f64) -> Self {
+        let hi = SourceWaveform::Dc(vdd);
+        let lo = SourceWaveform::Dc(0.0);
+        Self {
+            vdd_wave: hi.clone(),
+            pc_b: hi.clone(),
+            sen: lo.clone(),
+            sen_b: hi.clone(),
+            d: lo.clone(),
+            db: hi,
+            wen: lo.clone(),
+            wen_b: SourceWaveform::Dc(vdd),
+        }
+    }
+
+    /// `(source name, node, waveform)` triples for circuit construction.
+    #[allow(clippy::too_many_arguments)]
+    fn sources(
+        &self,
+        vdd: spice::NodeId,
+        pc_b: spice::NodeId,
+        sen: spice::NodeId,
+        sen_b: spice::NodeId,
+        d: spice::NodeId,
+        db: spice::NodeId,
+        wen: spice::NodeId,
+        wen_b: spice::NodeId,
+    ) -> Vec<(String, spice::NodeId, SourceWaveform)> {
+        vec![
+            ("VDD".into(), vdd, self.vdd_wave.clone()),
+            ("VPCB".into(), pc_b, self.pc_b.clone()),
+            ("VSEN".into(), sen, self.sen.clone()),
+            ("VSENB".into(), sen_b, self.sen_b.clone()),
+            ("VD".into(), d, self.d.clone()),
+            ("VDB".into(), db, self.db.clone()),
+            ("VWEN".into(), wen, self.wen.clone()),
+            ("VWENB".into(), wen_b, self.wen_b.clone()),
+        ]
+    }
+
+    /// `(source name, idle level)` pairs for leakage power accounting.
+    fn levels(&self, vdd: f64) -> Vec<(String, f64)> {
+        let level = |w: &SourceWaveform| w.value_at(0.0);
+        vec![
+            ("VDD".into(), vdd),
+            ("VPCB".into(), level(&self.pc_b)),
+            ("VSEN".into(), level(&self.sen)),
+            ("VSENB".into(), level(&self.sen_b)),
+            ("VD".into(), level(&self.d)),
+            ("VDB".into(), level(&self.db)),
+            ("VWEN".into(), level(&self.wen)),
+            ("VWENB".into(), level(&self.wen_b)),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Corner;
+
+    fn latch() -> StandardLatch {
+        StandardLatch::new(LatchConfig::default())
+    }
+
+    #[test]
+    fn read_path_has_eleven_transistors() {
+        assert_eq!(latch().read_path_transistors(), 11);
+        // Two tristate drivers add 8 more.
+        assert_eq!(latch().total_transistors(), 19);
+    }
+
+    #[test]
+    fn restores_both_bit_values() {
+        let l = latch();
+        for bit in [false, true] {
+            let out = l.simulate_restore([bit]).expect("restore");
+            assert_eq!(out.bits, [bit], "stored {bit}");
+            assert!(out.read_delay.pico_seconds() > 5.0);
+            assert!(out.read_delay.pico_seconds() < 500.0, "{}", out.read_delay);
+            assert!(out.energy.femto_joules() > 0.1);
+            assert!(out.energy.femto_joules() < 50.0, "{}", out.energy);
+        }
+    }
+
+    #[test]
+    fn stores_both_bit_values() {
+        let l = latch();
+        for data in [false, true] {
+            let out = l.simulate_store([data], [!data]).expect("store");
+            assert_eq!(out.stored, [data]);
+            assert_eq!(out.switch_count, 2, "both MTJs must flip");
+            assert!(out.latency.nano_seconds() > 0.5);
+            assert!(out.latency.nano_seconds() < 3.0, "{}", out.latency);
+            assert!(out.energy.femto_joules() > 20.0);
+            assert!(out.energy.femto_joules() < 800.0, "{}", out.energy);
+        }
+    }
+
+    #[test]
+    fn rewriting_same_data_switches_nothing() {
+        let out = latch().simulate_store([true], [true]).expect("store");
+        assert_eq!(out.switch_count, 0);
+        assert_eq!(out.latency, Time::ZERO);
+    }
+
+    #[test]
+    fn leakage_is_subnanowatt_scale() {
+        let p = latch().leakage().expect("leakage");
+        assert!(p.pico_watts() > 1.0, "leakage = {p}");
+        assert!(p.nano_watts() < 100.0, "leakage = {p}");
+    }
+
+    #[test]
+    fn leakage_orders_with_cmos_corner() {
+        let base = LatchConfig::default();
+        let slow = StandardLatch::new(base.at_corner(Corner::slow()))
+            .leakage()
+            .expect("slow");
+        let typ = StandardLatch::new(base.clone()).leakage().expect("typ");
+        let fast = StandardLatch::new(base.at_corner(Corner::fast()))
+            .leakage()
+            .expect("fast");
+        assert!(fast > typ, "fast {fast} vs typ {typ}");
+        assert!(typ > slow, "typ {typ} vs slow {slow}");
+    }
+
+    #[test]
+    fn read_is_slower_at_the_slow_corner() {
+        let base = LatchConfig::default();
+        let slow = StandardLatch::new(base.at_corner(Corner::slow()))
+            .simulate_restore([true])
+            .expect("slow");
+        let fast = StandardLatch::new(base.at_corner(Corner::fast()))
+            .simulate_restore([true])
+            .expect("fast");
+        assert!(
+            slow.read_delay > fast.read_delay,
+            "slow {} vs fast {}",
+            slow.read_delay,
+            fast.read_delay
+        );
+    }
+}

@@ -1,0 +1,136 @@
+//! Design-point descriptors joining circuit, layout and behavioral
+//! characterizations.
+
+use core::fmt;
+
+use cells::{CellError, CellMetrics, Corner, LatchConfig};
+use layout::DesignRules;
+use units::Area;
+
+/// Which NV shadow component backs a flip-flop (group).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NvComponentKind {
+    /// One 1-bit component per flip-flop (the state of the art).
+    Single,
+    /// One shared 2-bit component per flip-flop pair (the proposal).
+    Shared2,
+}
+
+impl NvComponentKind {
+    /// Bits backed by one component.
+    #[must_use]
+    pub fn bits(self) -> usize {
+        match self {
+            Self::Single => 1,
+            Self::Shared2 => 2,
+        }
+    }
+
+    /// Read-path transistor count (Table II).
+    #[must_use]
+    pub fn read_transistors(self) -> usize {
+        match self {
+            Self::Single => 11,
+            Self::Shared2 => 16,
+        }
+    }
+}
+
+impl fmt::Display for NvComponentKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Self::Single => "1-bit NV component",
+            Self::Shared2 => "2-bit shared NV component",
+        })
+    }
+}
+
+/// A fully characterized design point: circuit metrics (per two bits of
+/// storage, Table II normalization) plus layout area, for one component
+/// kind at one corner.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignPoint {
+    /// Component kind.
+    pub kind: NvComponentKind,
+    /// Corner the circuit metrics were extracted at.
+    pub corner: Corner,
+    /// Circuit metrics, normalized to two stored bits.
+    pub metrics: CellMetrics,
+    /// Layout area of the component(s) backing two bits.
+    pub area_two_bits: Area,
+}
+
+impl DesignPoint {
+    /// Characterizes a component kind at a corner: runs the circuit
+    /// simulations and synthesizes the layout.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CellError`] from the simulations.
+    pub fn characterize(
+        kind: NvComponentKind,
+        base: &LatchConfig,
+        corner: Corner,
+    ) -> Result<Self, CellError> {
+        let config = base.at_corner(corner);
+        let rules = DesignRules::n40();
+        let (metrics, area_two_bits) = match kind {
+            NvComponentKind::Single => (
+                cells::metrics::characterize_standard_pair(&config)?,
+                layout::cells::standard_pair_layout_area(&rules),
+            ),
+            NvComponentKind::Shared2 => (
+                cells::metrics::characterize_proposed(&config)?,
+                layout::cells::proposed_2bit_layout(&rules).area(),
+            ),
+        };
+        Ok(Self {
+            kind,
+            corner,
+            metrics,
+            area_two_bits,
+        })
+    }
+
+    /// Read energy per stored bit.
+    #[must_use]
+    pub fn read_energy_per_bit(&self) -> units::Energy {
+        self.metrics.read_energy / 2.0
+    }
+
+    /// Area per stored bit.
+    #[must_use]
+    pub fn area_per_bit(&self) -> Area {
+        self.area_two_bits / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_properties() {
+        assert_eq!(NvComponentKind::Single.bits(), 1);
+        assert_eq!(NvComponentKind::Shared2.bits(), 2);
+        assert_eq!(NvComponentKind::Single.read_transistors(), 11);
+        assert_eq!(NvComponentKind::Shared2.read_transistors(), 16);
+        assert!(NvComponentKind::Shared2.to_string().contains("2-bit"));
+    }
+
+    #[test]
+    fn characterization_matches_the_paper_shape() {
+        let base = LatchConfig::default();
+        let single = DesignPoint::characterize(NvComponentKind::Single, &base, Corner::typical())
+            .expect("single");
+        let shared = DesignPoint::characterize(NvComponentKind::Shared2, &base, Corner::typical())
+            .expect("shared");
+
+        // The proposal wins on every per-bit cost except delay.
+        assert!(shared.read_energy_per_bit() < single.read_energy_per_bit());
+        assert!(shared.area_per_bit() < single.area_per_bit());
+        assert!(shared.metrics.read_delay > single.metrics.read_delay);
+        assert_eq!(single.metrics.read_transistors, 22);
+        assert_eq!(shared.metrics.read_transistors, 16);
+    }
+}

@@ -1,0 +1,323 @@
+//! Event-driven energy-ledger simulation of an NV-backed register file
+//! through active/sleep duty cycles.
+//!
+//! This is the system-level glue: a population of shared 2-bit and
+//! single 1-bit NV flip-flops (as the merge flow produced), driven
+//! through an arbitrary active/sleep schedule with randomized data.
+//! Every power cycle exercises the behavioral store/restore protocol and
+//! verifies data integrity, while the ledger accrues leakage, store and
+//! restore energy against the per-cell costs — producing the net-saving
+//! picture for a *whole design*, not a single cell.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use units::{Energy, Power, Time};
+
+use crate::behavior::{MultiBitNvFlipFlop, NvFlipFlop};
+use crate::system::SystemCosts;
+
+/// One phase of a duty-cycle schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Phase {
+    /// Powered and clocking: leakage accrues; data may be rewritten.
+    Active(Time),
+    /// Power-gated: a store precedes the interval, a restore ends it.
+    Sleep(Time),
+}
+
+/// Accumulated energy and event counts of a simulation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyLedger {
+    /// Leakage spent while powered.
+    pub leakage: Energy,
+    /// Store energy over all power-downs.
+    pub store: Energy,
+    /// Restore energy over all wake-ups.
+    pub restore: Energy,
+    /// Number of power cycles completed.
+    pub cycles: usize,
+    /// Total wall-clock simulated.
+    pub elapsed: Time,
+    /// Bits verified intact across all wake-ups.
+    pub bits_verified: usize,
+}
+
+impl EnergyLedger {
+    /// Total energy consumed.
+    #[must_use]
+    pub fn total(&self) -> Energy {
+        self.leakage + self.store + self.restore
+    }
+
+    /// Energy an ungated (always-on) design would have spent over the
+    /// same wall clock at the given leakage power.
+    #[must_use]
+    pub fn ungated_baseline(&self, leakage: Power) -> Energy {
+        leakage * self.elapsed
+    }
+
+    /// Net saving against the ungated baseline.
+    #[must_use]
+    pub fn saving(&self, leakage: Power) -> Energy {
+        self.ungated_baseline(leakage) - self.total()
+    }
+}
+
+/// A register file backed by the merged NV component population.
+#[derive(Debug)]
+pub struct RegisterFileSim {
+    pairs: Vec<MultiBitNvFlipFlop>,
+    singles: Vec<NvFlipFlop>,
+    costs: SystemCosts,
+    /// Leakage per bit while powered.
+    leakage_per_bit: Power,
+    /// Store energy per bit (complementary-pair write).
+    store_per_bit: Energy,
+    rng: StdRng,
+    expected: Vec<bool>,
+}
+
+impl RegisterFileSim {
+    /// Builds a register file with `merged_pairs` shared components and
+    /// `single_ffs` 1-bit components (the merge flow's output shape).
+    ///
+    /// `leakage_per_bit` and `store_per_bit` complete the cost picture
+    /// (restore energy comes from `costs`).
+    #[must_use]
+    pub fn new(
+        merged_pairs: usize,
+        single_ffs: usize,
+        costs: SystemCosts,
+        leakage_per_bit: Power,
+        store_per_bit: Energy,
+        seed: u64,
+    ) -> Self {
+        let bits = merged_pairs * 2 + single_ffs;
+        Self {
+            pairs: (0..merged_pairs).map(|_| MultiBitNvFlipFlop::new()).collect(),
+            singles: (0..single_ffs).map(|_| NvFlipFlop::new()).collect(),
+            costs,
+            leakage_per_bit,
+            store_per_bit,
+            rng: StdRng::seed_from_u64(seed),
+            expected: vec![false; bits],
+        }
+    }
+
+    /// Total storage bits.
+    #[must_use]
+    pub fn bits(&self) -> usize {
+        self.pairs.len() * 2 + self.singles.len()
+    }
+
+    /// Total leakage of the powered register file.
+    #[must_use]
+    pub fn leakage(&self) -> Power {
+        self.leakage_per_bit * self.bits() as f64
+    }
+
+    /// Runs the schedule, returning the ledger.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a restore returns corrupted data — non-volatility is an
+    /// invariant, not an error condition.
+    pub fn run(&mut self, schedule: &[Phase]) -> EnergyLedger {
+        let mut ledger = EnergyLedger {
+            leakage: Energy::ZERO,
+            store: Energy::ZERO,
+            restore: Energy::ZERO,
+            cycles: 0,
+            elapsed: Time::ZERO,
+            bits_verified: 0,
+        };
+        for &phase in schedule {
+            match phase {
+                Phase::Active(duration) => {
+                    // Rewrite a random subset of the state.
+                    let rewrites = self.bits().div_ceil(4);
+                    for _ in 0..rewrites {
+                        let idx = self.rng.random_range(0..self.bits());
+                        let value = self.rng.random::<bool>();
+                        self.write_bit(idx, value);
+                    }
+                    ledger.leakage += self.leakage() * duration;
+                    ledger.elapsed += duration;
+                }
+                Phase::Sleep(duration) => {
+                    for pair in &mut self.pairs {
+                        pair.power_down().expect("active before sleep");
+                    }
+                    for ff in &mut self.singles {
+                        ff.power_down().expect("active before sleep");
+                    }
+                    ledger.store += self.store_per_bit * self.bits() as f64;
+                    // Gated: no leakage accrues.
+                    ledger.elapsed += duration;
+
+                    for pair in &mut self.pairs {
+                        pair.power_up().expect("sleeping before wake");
+                    }
+                    for ff in &mut self.singles {
+                        ff.power_up().expect("sleeping before wake");
+                    }
+                    ledger.restore += self.costs.energy_2bit * self.pairs.len() as f64
+                        + self.costs.energy_1bit * self.singles.len() as f64;
+                    ledger.cycles += 1;
+
+                    // Integrity check against the expected image.
+                    for idx in 0..self.bits() {
+                        let got = self.read_bit(idx);
+                        assert_eq!(
+                            got, self.expected[idx],
+                            "bit {idx} corrupted across power cycle {}",
+                            ledger.cycles
+                        );
+                        ledger.bits_verified += 1;
+                    }
+                }
+            }
+        }
+        ledger
+    }
+
+    fn write_bit(&mut self, idx: usize, value: bool) {
+        self.expected[idx] = value;
+        let pair_bits = self.pairs.len() * 2;
+        if idx < pair_bits {
+            self.pairs[idx / 2]
+                .capture(idx % 2, value)
+                .expect("powered during active phase");
+        } else {
+            self.singles[idx - pair_bits]
+                .capture(value)
+                .expect("powered during active phase");
+        }
+    }
+
+    fn read_bit(&self, idx: usize) -> bool {
+        let pair_bits = self.pairs.len() * 2;
+        if idx < pair_bits {
+            self.pairs[idx / 2].q(idx % 2).expect("powered")
+        } else {
+            self.singles[idx - pair_bits].q().expect("powered")
+        }
+    }
+}
+
+/// Convenience: a uniform duty-cycle schedule of `cycles` repetitions of
+/// (`active`, `sleep`).
+#[must_use]
+pub fn duty_cycle(active: Time, sleep: Time, cycles: usize) -> Vec<Phase> {
+    let mut out = Vec::with_capacity(cycles * 2);
+    for _ in 0..cycles {
+        out.push(Phase::Active(active));
+        out.push(Phase::Sleep(sleep));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim(pairs: usize, singles: usize) -> RegisterFileSim {
+        RegisterFileSim::new(
+            pairs,
+            singles,
+            SystemCosts::paper(),
+            Power::from_pico_watts(1565.0 / 2.0),
+            Energy::from_femto_joules(104.0),
+            7,
+        )
+    }
+
+    #[test]
+    fn data_survives_many_randomized_cycles() {
+        let mut s = sim(36, 8); // 80 bits
+        let ledger = s.run(&duty_cycle(
+            Time::from_micro_seconds(10.0),
+            Time::from_micro_seconds(100.0),
+            25,
+        ));
+        assert_eq!(ledger.cycles, 25);
+        assert_eq!(ledger.bits_verified, 25 * 80);
+    }
+
+    #[test]
+    fn ledger_accounts_every_term() {
+        let mut s = sim(10, 0);
+        let active = Time::from_micro_seconds(5.0);
+        let sleep = Time::from_micro_seconds(50.0);
+        let ledger = s.run(&duty_cycle(active, sleep, 4));
+        // Leakage: 20 bits × leak/bit × 4 × 5 µs.
+        let expect_leak = Power::from_pico_watts(1565.0 / 2.0) * 20.0 * (active * 4.0);
+        assert!((ledger.leakage / expect_leak - 1.0).abs() < 1e-9);
+        // Store: 20 bits × 104 fJ × 4 cycles.
+        assert!(
+            (ledger.store.femto_joules() - 20.0 * 104.0 * 4.0).abs() < 1e-6
+        );
+        // Restore: 10 shared components × 4.587 fJ × 4 cycles.
+        assert!(
+            (ledger.restore.femto_joules() - 10.0 * 4.587 * 4.0).abs() < 1e-6
+        );
+        let expect_elapsed = (active + sleep) * 4.0;
+        assert!((ledger.elapsed / expect_elapsed - 1.0).abs() < 1e-12);
+        assert!(ledger.total() > Energy::ZERO);
+    }
+
+    #[test]
+    fn long_sleeps_beat_the_ungated_baseline() {
+        let mut s = sim(50, 27);
+        let leak = s.leakage();
+        let ledger = s.run(&duty_cycle(
+            Time::from_micro_seconds(10.0),
+            Time::from_micro_seconds(2000.0),
+            10,
+        ));
+        assert!(
+            ledger.saving(leak).joules() > 0.0,
+            "gating must win at 200:1 idle ratios"
+        );
+    }
+
+    #[test]
+    fn short_sleeps_lose_to_the_overheads() {
+        let mut s = sim(50, 27);
+        let leak = s.leakage();
+        let ledger = s.run(&duty_cycle(
+            Time::from_micro_seconds(10.0),
+            Time::from_nano_seconds(500.0),
+            10,
+        ));
+        assert!(
+            ledger.saving(leak).joules() < 0.0,
+            "sub-breakeven sleeps must cost energy"
+        );
+    }
+
+    #[test]
+    fn merged_population_restores_cheaper_than_all_singles() {
+        let cycles = duty_cycle(
+            Time::from_micro_seconds(1.0),
+            Time::from_micro_seconds(10.0),
+            5,
+        );
+        // 100 bits as 50 shared pairs vs 100 singles.
+        let mut merged = sim(50, 0);
+        let mut unmerged = sim(0, 100);
+        let l_merged = merged.run(&cycles);
+        let l_unmerged = unmerged.run(&cycles);
+        assert!(l_merged.restore < l_unmerged.restore);
+        assert_eq!(merged.bits(), unmerged.bits());
+    }
+
+    #[test]
+    fn empty_schedule_is_a_zero_ledger() {
+        let mut s = sim(1, 1);
+        let ledger = s.run(&[]);
+        assert_eq!(ledger.total(), Energy::ZERO);
+        assert_eq!(ledger.cycles, 0);
+        assert_eq!(s.bits(), 3);
+    }
+}

@@ -1,0 +1,294 @@
+//! Applying a merge plan: rewriting the placed design with shared NV
+//! components.
+
+use place::PlacedDesign;
+
+use crate::pairing::MergePlan;
+
+/// A component of the transformed design.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergedComponent {
+    /// Instance name (merged pairs concatenate both names).
+    pub name: String,
+    /// Master: `NVDFF1` for an unmerged flip-flop with its own 1-bit
+    /// shadow component, `NVDFF2` for a merged pair sharing the 2-bit
+    /// component, or the original master for combinational cells.
+    pub master: String,
+    /// x in µm.
+    pub x: f64,
+    /// y in µm.
+    pub y: f64,
+    /// Number of storage bits backed by this component (0 for
+    /// combinational cells).
+    pub nv_bits: usize,
+}
+
+/// The design after NV-component substitution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergedDesign {
+    name: String,
+    components: Vec<MergedComponent>,
+    merged_pairs: usize,
+    single_ffs: usize,
+}
+
+impl MergedDesign {
+    /// Design name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All components after substitution.
+    #[must_use]
+    pub fn components(&self) -> &[MergedComponent] {
+        &self.components
+    }
+
+    /// Count of shared 2-bit NV components.
+    #[must_use]
+    pub fn merged_pairs(&self) -> usize {
+        self.merged_pairs
+    }
+
+    /// Count of remaining 1-bit NV components.
+    #[must_use]
+    pub fn single_flip_flops(&self) -> usize {
+        self.single_ffs
+    }
+
+    /// Total NV-backed bits (must equal the original flip-flop count).
+    #[must_use]
+    pub fn nv_bits(&self) -> usize {
+        self.components.iter().map(|c| c.nv_bits).sum()
+    }
+}
+
+/// Applies a merge plan to a placed design: every paired flip-flop
+/// couple becomes one `NVDFF2` at the midpoint of the pair, every
+/// remaining flip-flop an `NVDFF1` in place; other cells pass through.
+///
+/// # Panics
+///
+/// Panics if the plan was computed for a different design (flip-flop
+/// names must resolve).
+#[must_use]
+pub fn apply(design: &PlacedDesign, plan: &MergePlan) -> MergedDesign {
+    let mut components = Vec::with_capacity(design.cells().len());
+    // Non-FF cells pass through.
+    for cell in design.cells() {
+        if !cell.kind.is_flip_flop() {
+            components.push(MergedComponent {
+                name: cell.name.clone(),
+                master: cell.kind.to_string(),
+                x: cell.x.micro_meters(),
+                y: cell.y.micro_meters(),
+                nv_bits: 0,
+            });
+        }
+    }
+    // Merged pairs.
+    let points = plan.points();
+    for pair in plan.pairs() {
+        let a = &points[pair.a];
+        let b = &points[pair.b];
+        components.push(MergedComponent {
+            name: format!("{}+{}", a.name, b.name),
+            master: "NVDFF2".to_owned(),
+            x: (a.x + b.x) / 2.0,
+            y: (a.y + b.y) / 2.0,
+            nv_bits: 2,
+        });
+    }
+    // Stragglers keep 1-bit components.
+    for idx in plan.unmerged_indices() {
+        let p = &points[idx];
+        components.push(MergedComponent {
+            name: p.name.clone(),
+            master: "NVDFF1".to_owned(),
+            x: p.x,
+            y: p.y,
+            nv_bits: 1,
+        });
+    }
+    // Sanity: the plan must cover the design's flip-flops.
+    let ff_count = design.flip_flops().count();
+    assert_eq!(
+        plan.points().len(),
+        ff_count,
+        "merge plan was computed for a different design"
+    );
+
+    MergedDesign {
+        name: design.name().to_owned(),
+        components,
+        merged_pairs: plan.merged_pairs(),
+        single_ffs: plan.unmerged_count(),
+    }
+}
+
+/// Legalizes the NV components of a merged design: snaps each to the
+/// nearest row and placement site, then resolves overlaps between NV
+/// components within a row by shifting right (and spilling back left at
+/// the die edge). Combinational cells are already legal (they came from
+/// the placer) and are left untouched.
+///
+/// Returns the legalized design plus the largest displacement (µm) any
+/// component suffered — the quantity to check against the timing budget.
+#[must_use]
+pub fn legalize(
+    design: &MergedDesign,
+    floorplan: &place::Floorplan,
+    component_width_um: f64,
+) -> (MergedDesign, f64) {
+    let row_h = floorplan.row_height().micro_meters();
+    let site_w = floorplan.site_width().micro_meters();
+    let die_w = floorplan.die_width().micro_meters();
+    let rows = floorplan.rows().max(1);
+
+    let mut legal = design.clone();
+    let mut max_move = 0.0f64;
+
+    // Snap NV components to the site/row grid.
+    let mut by_row: std::collections::HashMap<usize, Vec<usize>> =
+        std::collections::HashMap::new();
+    for (idx, comp) in legal.components.iter_mut().enumerate() {
+        if comp.nv_bits == 0 {
+            continue;
+        }
+        let row = ((comp.y / row_h).round().max(0.0) as usize).min(rows - 1);
+        let snapped_y = row as f64 * row_h;
+        let snapped_x = (comp.x / site_w).round().max(0.0) * site_w;
+        let moved = ((comp.x - snapped_x).powi(2) + (comp.y - snapped_y).powi(2)).sqrt();
+        max_move = max_move.max(moved);
+        comp.x = snapped_x.min(die_w - component_width_um);
+        comp.y = snapped_y;
+        by_row.entry(row).or_default().push(idx);
+    }
+
+    // Resolve intra-row overlaps among NV components: sort by x, push
+    // right, and shift the whole tail left if it spills past the die.
+    for indices in by_row.values() {
+        let mut order: Vec<usize> = indices.clone();
+        order.sort_by(|&a, &b| {
+            legal.components[a]
+                .x
+                .partial_cmp(&legal.components[b].x)
+                .expect("finite coordinates")
+        });
+        let mut cursor = 0.0f64;
+        for &idx in &order {
+            let original = legal.components[idx].x;
+            let x = original.max(cursor);
+            legal.components[idx].x = x;
+            cursor = x + component_width_um;
+            max_move = max_move.max((x - original).abs());
+        }
+        // Spill: if the row overflows the die, shift the tail back.
+        let overflow = cursor - die_w;
+        if overflow > 0.0 {
+            for &idx in order.iter().rev() {
+                let x = legal.components[idx].x - overflow;
+                max_move = max_move.max(overflow);
+                legal.components[idx].x = x.max(0.0);
+            }
+        }
+    }
+    (legal, max_move)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MergeOptions;
+    use netlist::{CellLibrary, benchmarks};
+    use place::placer::{self, PlacerOptions};
+
+    fn merged_s344() -> (PlacedDesign, MergedDesign) {
+        let n = benchmarks::generate(benchmarks::by_name("s344").unwrap());
+        let placed = placer::place(&n, &CellLibrary::n40(), &PlacerOptions::default());
+        let plan = crate::plan(&placed, &MergeOptions::default());
+        let merged = apply(&placed, &plan);
+        (placed, merged)
+    }
+
+    #[test]
+    fn nv_bits_are_conserved() {
+        let (placed, merged) = merged_s344();
+        assert_eq!(merged.nv_bits(), placed.flip_flops().count());
+        assert_eq!(
+            merged.merged_pairs() * 2 + merged.single_flip_flops(),
+            placed.flip_flops().count()
+        );
+    }
+
+    #[test]
+    fn combinational_cells_pass_through() {
+        let (placed, merged) = merged_s344();
+        let comb_in = placed
+            .cells()
+            .iter()
+            .filter(|c| !c.kind.is_flip_flop())
+            .count();
+        let comb_out = merged
+            .components()
+            .iter()
+            .filter(|c| c.nv_bits == 0)
+            .count();
+        assert_eq!(comb_in, comb_out);
+        assert_eq!(merged.name(), "s344");
+    }
+
+    #[test]
+    fn legalization_removes_nv_overlaps() {
+        let n = benchmarks::generate(benchmarks::by_name("s1423").expect("benchmark"));
+        let lib = CellLibrary::n40();
+        let placed = placer::place(&n, &lib, &PlacerOptions::default());
+        let plan = crate::plan(&placed, &MergeOptions::default());
+        let merged = apply(&placed, &plan);
+
+        let width_um = 2.0; // 2-bit component width class
+        let (legal, max_move) = legalize(&merged, placed.floorplan(), width_um);
+        assert_eq!(legal.nv_bits(), merged.nv_bits());
+
+        let row_h = placed.floorplan().row_height().micro_meters();
+        let mut by_row: std::collections::HashMap<i64, Vec<f64>> =
+            std::collections::HashMap::new();
+        for comp in legal.components().iter().filter(|c| c.nv_bits > 0) {
+            // On the row grid.
+            let row = comp.y / row_h;
+            assert!((row - row.round()).abs() < 1e-9, "off-grid y {}", comp.y);
+            by_row.entry(row.round() as i64).or_default().push(comp.x);
+        }
+        for (row, mut xs) in by_row {
+            xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            for pair in xs.windows(2) {
+                assert!(
+                    pair[1] - pair[0] >= width_um - 1e-9,
+                    "overlap in row {row}: {pair:?}"
+                );
+            }
+        }
+        // Displacements stay small relative to the die.
+        assert!(
+            max_move < placed.floorplan().die_width().micro_meters() / 2.0,
+            "max move {max_move}"
+        );
+    }
+
+    #[test]
+    fn merged_components_sit_between_their_parents() {
+        let (placed, merged) = merged_s344();
+        let ffs: std::collections::HashMap<&str, (f64, f64)> = placed
+            .flip_flops()
+            .map(|c| (c.name.as_str(), (c.x.micro_meters(), c.y.micro_meters())))
+            .collect();
+        for comp in merged.components().iter().filter(|c| c.nv_bits == 2) {
+            let (a, b) = comp.name.split_once('+').expect("pair name");
+            let pa = ffs[a];
+            let pb = ffs[b];
+            assert!((comp.x - (pa.0 + pb.0) / 2.0).abs() < 1e-9);
+            assert!((comp.y - (pa.1 + pb.1) / 2.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Write-error-rate (WER) analysis.
+//!
+//! STT switching is stochastic: holding a drive current for a finite
+//! pulse leaves a residual probability `exp(−t/τ(I))` that the free
+//! layer has not reversed. The paper sizes its store phase with margin
+//! ("reliable back-up"); this module quantifies that margin — the WER
+//! as a function of pulse width and drive, and the inverse problem of
+//! choosing a pulse for a target error rate.
+
+use rand::Rng;
+use units::{Current, Time};
+
+use crate::device::{Mtj, WritePolarity};
+use crate::params::MtjParams;
+use crate::resistance::MtjState;
+use crate::switching::SwitchingModel;
+
+/// Probability that a single device fails to reverse under `current`
+/// held for `pulse` — `exp(−t/τ)`.
+///
+/// # Examples
+///
+/// ```
+/// use mtj::{MtjParams, SwitchingModel, wer};
+/// use units::Time;
+///
+/// let p = MtjParams::date2018();
+/// let m = SwitchingModel::new(&p);
+/// let short = wer::write_error_rate(&m, p.nominal_write_current(), Time::from_nano_seconds(2.0));
+/// let long = wer::write_error_rate(&m, p.nominal_write_current(), Time::from_nano_seconds(8.0));
+/// assert!(long < short);
+/// ```
+#[must_use]
+pub fn write_error_rate(model: &SwitchingModel, current: Current, pulse: Time) -> f64 {
+    let tau = model.mean_switching_time(current).seconds();
+    (-pulse.seconds() / tau).exp()
+}
+
+/// WER of a complementary-pair store: both devices of the pair must
+/// reverse (worst-case data), so the pair fails if either does.
+#[must_use]
+pub fn pair_write_error_rate(model: &SwitchingModel, current: Current, pulse: Time) -> f64 {
+    let single = write_error_rate(model, current, pulse);
+    1.0 - (1.0 - single) * (1.0 - single)
+}
+
+/// The shortest pulse meeting a target WER at the given drive:
+/// `t = τ·ln(1/target)`.
+///
+/// # Panics
+///
+/// Panics unless `0 < target_wer < 1`.
+#[must_use]
+pub fn pulse_for_wer(model: &SwitchingModel, current: Current, target_wer: f64) -> Time {
+    assert!(
+        target_wer > 0.0 && target_wer < 1.0,
+        "target WER must be in (0, 1), got {target_wer}"
+    );
+    let tau = model.mean_switching_time(current).seconds();
+    Time::from_seconds(tau * (1.0 / target_wer).ln())
+}
+
+/// Monte-Carlo estimate of the single-device WER by repeated stochastic
+/// writes — the empirical cross-check of the analytic rate.
+pub fn monte_carlo_wer<R: Rng + ?Sized>(
+    params: &MtjParams,
+    current: Current,
+    pulse: Time,
+    trials: usize,
+    rng: &mut R,
+) -> f64 {
+    let step = Time::from_seconds((pulse.seconds() / 64.0).max(1e-12));
+    let mut failures = 0usize;
+    for _ in 0..trials {
+        let mut device = Mtj::new(
+            params.clone(),
+            MtjState::Parallel,
+            WritePolarity::PositiveSetsAntiParallel,
+        );
+        let mut elapsed = Time::ZERO;
+        while elapsed < pulse && device.state() == MtjState::Parallel {
+            device.advance_stochastic(current, step, rng);
+            elapsed += step;
+        }
+        if device.state() == MtjState::Parallel {
+            failures += 1;
+        }
+    }
+    failures as f64 / trials as f64
+}
+
+/// One row of a WER-vs-pulse characterization sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WerPoint {
+    /// Pulse width.
+    pub pulse: Time,
+    /// Single-device analytic WER.
+    pub single: f64,
+    /// Complementary-pair analytic WER.
+    pub pair: f64,
+}
+
+/// Sweeps the WER over pulse widths (the store-margin curve).
+#[must_use]
+pub fn sweep(model: &SwitchingModel, current: Current, pulses: &[Time]) -> Vec<WerPoint> {
+    pulses
+        .iter()
+        .map(|&pulse| WerPoint {
+            pulse,
+            single: write_error_rate(model, current, pulse),
+            pair: pair_write_error_rate(model, current, pulse),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand::rngs::StdRng;
+
+    fn setup() -> (MtjParams, SwitchingModel) {
+        let p = MtjParams::date2018();
+        let m = SwitchingModel::new(&p);
+        (p, m)
+    }
+
+    #[test]
+    fn wer_decays_exponentially_with_pulse() {
+        let (p, m) = setup();
+        let i = p.nominal_write_current();
+        let tau = m.mean_switching_time(i);
+        let w1 = write_error_rate(&m, i, tau);
+        let w2 = write_error_rate(&m, i, tau * 2.0);
+        assert!((w1 - (-1.0f64).exp()).abs() < 1e-12);
+        assert!((w2 - w1 * w1).abs() < 1e-12); // exp(-2) = exp(-1)²
+    }
+
+    #[test]
+    fn pair_wer_is_worse_than_single() {
+        let (p, m) = setup();
+        let i = p.nominal_write_current();
+        let pulse = Time::from_nano_seconds(4.0);
+        let single = write_error_rate(&m, i, pulse);
+        let pair = pair_write_error_rate(&m, i, pulse);
+        assert!(pair > single);
+        assert!(pair < 2.0 * single + 1e-12);
+    }
+
+    #[test]
+    fn pulse_for_wer_inverts_the_rate() {
+        let (p, m) = setup();
+        let i = p.nominal_write_current();
+        for target in [1e-3, 1e-6, 1e-9] {
+            let pulse = pulse_for_wer(&m, i, target);
+            let achieved = write_error_rate(&m, i, pulse);
+            assert!((achieved / target - 1.0).abs() < 1e-9, "{target}");
+        }
+        // 1e-9 at the nominal drive needs ~20.7 τ ≈ 41 ns.
+        let pulse = pulse_for_wer(&m, i, 1e-9);
+        assert!((pulse.nano_seconds() - 41.4).abs() < 1.0, "{pulse}");
+    }
+
+    #[test]
+    fn stronger_drive_needs_shorter_pulses() {
+        let (_, m) = setup();
+        let weak = pulse_for_wer(&m, Current::from_micro_amps(55.0), 1e-6);
+        let strong = pulse_for_wer(&m, Current::from_micro_amps(90.0), 1e-6);
+        assert!(strong < weak);
+    }
+
+    #[test]
+    fn monte_carlo_agrees_with_analytic() {
+        let (p, m) = setup();
+        let i = p.nominal_write_current();
+        let pulse = m.mean_switching_time(i); // WER = e⁻¹ ≈ 0.368
+        let mut rng = StdRng::seed_from_u64(17);
+        let empirical = monte_carlo_wer(&p, i, pulse, 2000, &mut rng);
+        let analytic = write_error_rate(&m, i, pulse);
+        assert!(
+            (empirical - analytic).abs() < 0.04,
+            "empirical {empirical} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn sweep_is_monotone_decreasing() {
+        let (p, m) = setup();
+        let pulses: Vec<Time> = (1..=8).map(|k| Time::from_nano_seconds(f64::from(k))).collect();
+        let points = sweep(&m, p.nominal_write_current(), &pulses);
+        assert_eq!(points.len(), 8);
+        for pair in points.windows(2) {
+            assert!(pair[1].single < pair[0].single);
+            assert!(pair[1].pair < pair[0].pair);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "target WER")]
+    fn invalid_target_panics() {
+        let (p, m) = setup();
+        let _ = pulse_for_wer(&m, p.nominal_write_current(), 1.5);
+    }
+}

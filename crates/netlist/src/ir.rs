@@ -1,0 +1,367 @@
+//! The gate-level intermediate representation.
+
+use core::fmt;
+use std::collections::HashMap;
+
+/// Logic cell types of the small standard-cell library.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CellKind {
+    /// Primary input port (zero-area pseudo-cell).
+    Input,
+    /// Primary output port (zero-area pseudo-cell).
+    Output,
+    /// Inverter.
+    Inv,
+    /// Buffer.
+    Buf,
+    /// 2-input NAND.
+    Nand2,
+    /// 2-input NOR.
+    Nor2,
+    /// 2-input AND.
+    And2,
+    /// 2-input OR.
+    Or2,
+    /// 2-input XOR.
+    Xor2,
+    /// D flip-flop (the cells the NV shadow components attach to).
+    Dff,
+}
+
+impl CellKind {
+    /// Number of input pins (the output pin is implicit).
+    #[must_use]
+    pub fn input_count(self) -> usize {
+        match self {
+            Self::Input => 0,
+            Self::Output | Self::Inv | Self::Buf | Self::Dff => 1,
+            Self::Nand2 | Self::Nor2 | Self::And2 | Self::Or2 | Self::Xor2 => 2,
+        }
+    }
+
+    /// `true` for the sequential cell.
+    #[must_use]
+    pub fn is_flip_flop(self) -> bool {
+        matches!(self, Self::Dff)
+    }
+
+    /// `true` for port pseudo-cells.
+    #[must_use]
+    pub fn is_port(self) -> bool {
+        matches!(self, Self::Input | Self::Output)
+    }
+
+    /// All placeable (non-port) kinds.
+    pub const PLACEABLE: [Self; 8] = [
+        Self::Inv,
+        Self::Buf,
+        Self::Nand2,
+        Self::Nor2,
+        Self::And2,
+        Self::Or2,
+        Self::Xor2,
+        Self::Dff,
+    ];
+}
+
+impl fmt::Display for CellKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Self::Input => "INPUT",
+            Self::Output => "OUTPUT",
+            Self::Inv => "INV",
+            Self::Buf => "BUF",
+            Self::Nand2 => "NAND2",
+            Self::Nor2 => "NOR2",
+            Self::And2 => "AND2",
+            Self::Or2 => "OR2",
+            Self::Xor2 => "XOR2",
+            Self::Dff => "DFF",
+        })
+    }
+}
+
+/// Handle of a net within one [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NetId(pub usize);
+
+/// Handle of an instance within one [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct InstId(pub usize);
+
+/// One placed-able cell instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Instance {
+    /// Instance name (unique within the netlist).
+    pub name: String,
+    /// Cell type.
+    pub kind: CellKind,
+    /// Input nets, length = `kind.input_count()`.
+    pub inputs: Vec<NetId>,
+    /// Output net (`None` only for [`CellKind::Output`] ports).
+    pub output: Option<NetId>,
+}
+
+/// A flat gate-level netlist.
+///
+/// # Examples
+///
+/// ```
+/// use netlist::{CellKind, Netlist};
+///
+/// let mut n = Netlist::new("toy");
+/// let a = n.add_net("a");
+/// let y = n.add_net("y");
+/// n.add_instance("U1", CellKind::Inv, vec![a], Some(y));
+/// assert_eq!(n.instance_count(), 1);
+/// assert_eq!(n.net_count(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Netlist {
+    name: String,
+    nets: Vec<String>,
+    net_lookup: HashMap<String, usize>,
+    instances: Vec<Instance>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist.
+    #[must_use]
+    pub fn new(name: &str) -> Self {
+        Self {
+            name: name.to_owned(),
+            nets: Vec::new(),
+            net_lookup: HashMap::new(),
+            instances: Vec::new(),
+        }
+    }
+
+    /// Design name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds (or returns the existing) net named `name`.
+    pub fn add_net(&mut self, name: &str) -> NetId {
+        if let Some(&idx) = self.net_lookup.get(name) {
+            return NetId(idx);
+        }
+        let idx = self.nets.len();
+        self.nets.push(name.to_owned());
+        self.net_lookup.insert(name.to_owned(), idx);
+        NetId(idx)
+    }
+
+    /// Name of a net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` belongs to another netlist.
+    #[must_use]
+    pub fn net_name(&self, net: NetId) -> &str {
+        &self.nets[net.0]
+    }
+
+    /// Looks up an existing net without creating it.
+    #[must_use]
+    pub fn find_net(&self, name: &str) -> Option<NetId> {
+        self.net_lookup.get(name).map(|&i| NetId(i))
+    }
+
+    /// Adds an instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pin count does not match the kind — instance
+    /// construction is programmatic, so a mismatch is a generator bug.
+    pub fn add_instance(
+        &mut self,
+        name: &str,
+        kind: CellKind,
+        inputs: Vec<NetId>,
+        output: Option<NetId>,
+    ) -> InstId {
+        assert_eq!(
+            inputs.len(),
+            kind.input_count(),
+            "{kind} takes {} inputs",
+            kind.input_count()
+        );
+        assert_eq!(
+            output.is_none(),
+            kind == CellKind::Output,
+            "only OUTPUT ports lack an output net"
+        );
+        let id = InstId(self.instances.len());
+        self.instances.push(Instance {
+            name: name.to_owned(),
+            kind,
+            inputs,
+            output,
+        });
+        id
+    }
+
+    /// The instances in insertion order.
+    #[must_use]
+    pub fn instances(&self) -> &[Instance] {
+        &self.instances
+    }
+
+    /// One instance by handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` belongs to another netlist.
+    #[must_use]
+    pub fn instance(&self, id: InstId) -> &Instance {
+        &self.instances[id.0]
+    }
+
+    /// Number of instances (ports included).
+    #[must_use]
+    pub fn instance_count(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Number of nets.
+    #[must_use]
+    pub fn net_count(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Number of flip-flops.
+    #[must_use]
+    pub fn flip_flop_count(&self) -> usize {
+        self.instances
+            .iter()
+            .filter(|i| i.kind.is_flip_flop())
+            .count()
+    }
+
+    /// Handles of all flip-flop instances.
+    #[must_use]
+    pub fn flip_flops(&self) -> Vec<InstId> {
+        self.instances
+            .iter()
+            .enumerate()
+            .filter(|(_, i)| i.kind.is_flip_flop())
+            .map(|(idx, _)| InstId(idx))
+            .collect()
+    }
+
+    /// Handles of all placeable (non-port) instances.
+    #[must_use]
+    pub fn placeable(&self) -> Vec<InstId> {
+        self.instances
+            .iter()
+            .enumerate()
+            .filter(|(_, i)| !i.kind.is_port())
+            .map(|(idx, _)| InstId(idx))
+            .collect()
+    }
+
+    /// Per-kind instance histogram.
+    #[must_use]
+    pub fn kind_histogram(&self) -> HashMap<CellKind, usize> {
+        let mut h = HashMap::new();
+        for i in &self.instances {
+            *h.entry(i.kind).or_insert(0) += 1;
+        }
+        h
+    }
+
+    /// Adjacency: for every net, the instances touching it. Used by the
+    /// placer for connectivity-driven clustering.
+    #[must_use]
+    pub fn net_pins(&self) -> Vec<Vec<InstId>> {
+        let mut pins: Vec<Vec<InstId>> = vec![Vec::new(); self.nets.len()];
+        for (idx, inst) in self.instances.iter().enumerate() {
+            for net in inst
+                .inputs
+                .iter()
+                .chain(inst.output.iter())
+            {
+                pins[net.0].push(InstId(idx));
+            }
+        }
+        pins
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Netlist {
+        let mut n = Netlist::new("toy");
+        let a = n.add_net("a");
+        let b = n.add_net("b");
+        let y = n.add_net("y");
+        let q = n.add_net("q");
+        n.add_instance("PI_A", CellKind::Input, vec![], Some(a));
+        n.add_instance("PI_B", CellKind::Input, vec![], Some(b));
+        n.add_instance("U1", CellKind::Nand2, vec![a, b], Some(y));
+        n.add_instance("FF1", CellKind::Dff, vec![y], Some(q));
+        n.add_instance("PO_Q", CellKind::Output, vec![q], None);
+        n
+    }
+
+    #[test]
+    fn counting_and_lookup() {
+        let n = toy();
+        assert_eq!(n.name(), "toy");
+        assert_eq!(n.instance_count(), 5);
+        assert_eq!(n.net_count(), 4);
+        assert_eq!(n.flip_flop_count(), 1);
+        assert_eq!(n.flip_flops().len(), 1);
+        assert_eq!(n.placeable().len(), 2); // NAND2 + DFF
+        assert_eq!(n.net_name(NetId(0)), "a");
+    }
+
+    #[test]
+    fn nets_are_interned() {
+        let mut n = Netlist::new("x");
+        let a1 = n.add_net("a");
+        let a2 = n.add_net("a");
+        assert_eq!(a1, a2);
+        assert_eq!(n.net_count(), 1);
+    }
+
+    #[test]
+    fn histogram_counts_kinds() {
+        let h = toy().kind_histogram();
+        assert_eq!(h[&CellKind::Input], 2);
+        assert_eq!(h[&CellKind::Nand2], 1);
+        assert_eq!(h[&CellKind::Dff], 1);
+    }
+
+    #[test]
+    fn net_pins_cover_all_connections() {
+        let n = toy();
+        let pins = n.net_pins();
+        // Net "y" connects U1 (driver) and FF1 (sink).
+        let y_pins = &pins[2];
+        assert_eq!(y_pins.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "takes 2 inputs")]
+    fn wrong_arity_panics() {
+        let mut n = Netlist::new("x");
+        let a = n.add_net("a");
+        let y = n.add_net("y");
+        n.add_instance("U1", CellKind::Nand2, vec![a], Some(y));
+    }
+
+    #[test]
+    fn kind_queries() {
+        assert!(CellKind::Dff.is_flip_flop());
+        assert!(!CellKind::Inv.is_flip_flop());
+        assert!(CellKind::Input.is_port());
+        assert_eq!(CellKind::Xor2.input_count(), 2);
+        assert_eq!(CellKind::PLACEABLE.len(), 8);
+        assert_eq!(CellKind::Dff.to_string(), "DFF");
+    }
+}

@@ -1,0 +1,42 @@
+//! Gate-level netlist IR and synthetic benchmark generation.
+//!
+//! The paper's system-level evaluation synthesizes 13 benchmark circuits
+//! (ISCAS'89, ITC'99 and the or1200 core), places them, and then merges
+//! neighbouring flip-flops. The RTL of those suites is not
+//! redistributable here, so [`benchmarks`] generates *synthetic*
+//! equivalents: deterministic gate-level netlists with
+//!
+//! * exactly the paper's published flip-flop count per benchmark
+//!   (Table III column 2),
+//! * a combinational cloud sized from the published gate counts,
+//! * Rent-style locality — cells are grouped into modules with mostly
+//!   intra-module connectivity — which is what makes placed flip-flops
+//!   cluster, the very property the merge flow exploits.
+//!
+//! The IR ([`Netlist`], [`Instance`], [`CellKind`]) is deliberately
+//! small: named typed cells over interned nets, a [`CellLibrary`] with
+//! per-kind footprints, and a structural-Verilog writer for inspection.
+//!
+//! # Examples
+//!
+//! ```
+//! use netlist::benchmarks;
+//!
+//! let s344 = benchmarks::generate(benchmarks::by_name("s344").unwrap());
+//! assert_eq!(s344.flip_flop_count(), 15); // Table III
+//! assert!(s344.instance_count() > 100);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bench_format;
+pub mod benchmarks;
+pub mod ir;
+pub mod library;
+pub mod sim;
+pub mod verilog;
+
+pub use benchmarks::{Benchmark, BenchmarkSpec};
+pub use ir::{CellKind, InstId, Instance, NetId, Netlist};
+pub use library::{CellFootprint, CellLibrary};

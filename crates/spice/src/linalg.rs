@@ -1,0 +1,248 @@
+//! Dense linear algebra for the MNA system.
+//!
+//! Latch-scale circuits produce systems of a few dozen unknowns, where a
+//! dense LU factorization with partial pivoting is both the simplest and
+//! the fastest option (no fill-in bookkeeping, cache-friendly row access).
+
+/// A dense, row-major square matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Creates an `n × n` zero matrix.
+    #[must_use]
+    pub fn zeros(n: usize) -> Self {
+        Self {
+            n,
+            data: vec![0.0; n * n],
+        }
+    }
+
+    /// Matrix dimension.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Returns the entry at (`row`, `col`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` is out of bounds.
+    #[must_use]
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.n && col < self.n, "index out of bounds");
+        self.data[row * self.n + col]
+    }
+
+    /// Sets the entry at (`row`, `col`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` is out of bounds.
+    pub fn set(&mut self, row: usize, col: usize, value: f64) {
+        assert!(row < self.n && col < self.n, "index out of bounds");
+        self.data[row * self.n + col] = value;
+    }
+
+    /// Adds `value` to the entry at (`row`, `col`) — the *stamp*
+    /// operation every MNA device contribution uses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` is out of bounds.
+    pub fn add(&mut self, row: usize, col: usize, value: f64) {
+        assert!(row < self.n && col < self.n, "index out of bounds");
+        self.data[row * self.n + col] += value;
+    }
+
+    /// Resets every entry to zero, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Solves `A·x = b` via LU with partial pivoting without destroying
+    /// `self`.
+    ///
+    /// Returns `None` if the matrix is numerically singular.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` differs from the matrix dimension.
+    #[must_use]
+    pub fn solve(&self, b: &[f64]) -> Option<Vec<f64>> {
+        assert_eq!(b.len(), self.n, "rhs length mismatch");
+        const PIVOT_EPS: f64 = 1e-30;
+        let n = self.n;
+        let mut lu = self.data.clone();
+        let mut x: Vec<f64> = b.to_vec();
+
+        for k in 0..n {
+            // Pivot selection.
+            let mut pivot_row = k;
+            let mut pivot_val = lu[k * n + k].abs();
+            for r in (k + 1)..n {
+                let v = lu[r * n + k].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = r;
+                }
+            }
+            if pivot_val < PIVOT_EPS {
+                return None;
+            }
+            if pivot_row != k {
+                for j in 0..n {
+                    lu.swap(k * n + j, pivot_row * n + j);
+                }
+                x.swap(k, pivot_row);
+            }
+            // Elimination of rows below k, RHS included.
+            let pivot = lu[k * n + k];
+            for r in (k + 1)..n {
+                let factor = lu[r * n + k] / pivot;
+                if factor == 0.0 {
+                    continue;
+                }
+                for j in k..n {
+                    lu[r * n + j] -= factor * lu[k * n + j];
+                }
+                x[r] -= factor * x[k];
+            }
+        }
+        // Back substitution.
+        for k in (0..n).rev() {
+            let mut acc = x[k];
+            for j in (k + 1)..n {
+                acc -= lu[k * n + j] * x[j];
+            }
+            x[k] = acc / lu[k * n + k];
+        }
+        if x.iter().any(|v| !v.is_finite()) {
+            return None;
+        }
+        Some(x)
+    }
+
+    /// Computes `A·x` (used by tests and residual checks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the matrix dimension.
+    #[must_use]
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n, "vector length mismatch");
+        (0..self.n)
+            .map(|r| {
+                (0..self.n)
+                    .map(|c| self.data[r * self.n + c] * x[c])
+                    .sum()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn from_rows(rows: &[&[f64]]) -> DenseMatrix {
+        let n = rows.len();
+        let mut m = DenseMatrix::zeros(n);
+        for (r, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), n);
+            for (c, &v) in row.iter().enumerate() {
+                m.set(r, c, v);
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn identity_solve() {
+        let m = from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        let x = m.solve(&[3.0, 4.0]).expect("nonsingular");
+        assert_eq!(x, vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn solves_a_known_system() {
+        let m = from_rows(&[&[2.0, 1.0, -1.0], &[-3.0, -1.0, 2.0], &[-2.0, 1.0, 2.0]]);
+        let x = m.solve(&[8.0, -11.0, -3.0]).expect("nonsingular");
+        let expected = [2.0, 3.0, -1.0];
+        for (xi, ei) in x.iter().zip(expected.iter()) {
+            assert!((xi - ei).abs() < 1e-12, "{x:?}");
+        }
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        let m = from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let x = m.solve(&[5.0, 7.0]).expect("nonsingular with pivoting");
+        assert!((x[0] - 7.0).abs() < 1e-12);
+        assert!((x[1] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_returns_none() {
+        let m = from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(m.solve(&[1.0, 2.0]).is_none());
+        let z = DenseMatrix::zeros(3);
+        assert!(z.solve(&[0.0; 3]).is_none());
+    }
+
+    #[test]
+    fn solve_does_not_mutate_matrix() {
+        let m = from_rows(&[&[4.0, 3.0], &[6.0, 3.0]]);
+        let copy = m.clone();
+        let _ = m.solve(&[10.0, 12.0]);
+        assert_eq!(m, copy);
+    }
+
+    #[test]
+    fn residual_is_tiny_for_ill_conditioned_scaling() {
+        // Conductances in a real MNA system span ~1e-12 .. 1e-2 S.
+        let m = from_rows(&[
+            &[1e-2, -1e-2, 0.0],
+            &[-1e-2, 1e-2 + 1e-12, -1e-12],
+            &[0.0, -1e-12, 2e-12],
+        ]);
+        let b = [1e-3, 0.0, 1e-15];
+        let x = m.solve(&b).expect("solvable");
+        let r = m.mul_vec(&x);
+        // The system's condition number is ~1e10; accept residuals small
+        // relative to the RHS scale rather than entry-exact.
+        let scale = b.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        for (ri, bi) in r.iter().zip(b.iter()) {
+            assert!((ri - bi).abs() < 1e-5 * scale, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn stamp_add_accumulates() {
+        let mut m = DenseMatrix::zeros(2);
+        m.add(0, 0, 1.0);
+        m.add(0, 0, 2.5);
+        assert_eq!(m.get(0, 0), 3.5);
+        m.clear();
+        assert_eq!(m.get(0, 0), 0.0);
+        assert_eq!(m.dim(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "rhs length mismatch")]
+    fn wrong_rhs_length_panics() {
+        let m = DenseMatrix::zeros(2);
+        let _ = m.solve(&[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "index out of bounds")]
+    fn out_of_bounds_panics() {
+        let m = DenseMatrix::zeros(2);
+        let _ = m.get(2, 0);
+    }
+}

@@ -1,0 +1,135 @@
+//! Engineering-notation formatting shared by all quantity types.
+
+/// Formats `value` (in base SI units) with an engineering prefix and `unit`
+/// symbol, e.g. `format_engineering(1.87e-10, "s")` → `"187 ps"`.
+///
+/// Values are snapped to the prefix ladder from yocto (`1e-24`) to yotta
+/// (`1e24`); exact zero renders as `"0 <unit>"`. Mantissas are printed with
+/// up to four significant digits, trimming trailing zeros, which is enough
+/// to reproduce every figure quoted in the paper (e.g. `4.587 fJ`).
+///
+/// # Examples
+///
+/// ```
+/// use units::format_engineering;
+///
+/// assert_eq!(format_engineering(1.1, "V"), "1.1 V");
+/// assert_eq!(format_engineering(70e-6, "A"), "70 µA");
+/// assert_eq!(format_engineering(4.587e-15, "J"), "4.587 fJ");
+/// assert_eq!(format_engineering(0.0, "W"), "0 W");
+/// assert_eq!(format_engineering(-3.1e-9, "s"), "-3.1 ns");
+/// ```
+pub fn format_engineering(value: f64, unit: &str) -> String {
+    if value == 0.0 {
+        return format!("0 {unit}");
+    }
+    if !value.is_finite() {
+        return format!("{value} {unit}");
+    }
+    const PREFIXES: [(f64, &str); 17] = [
+        (1e24, "Y"),
+        (1e21, "Z"),
+        (1e18, "E"),
+        (1e15, "P"),
+        (1e12, "T"),
+        (1e9, "G"),
+        (1e6, "M"),
+        (1e3, "k"),
+        (1e0, ""),
+        (1e-3, "m"),
+        (1e-6, "µ"),
+        (1e-9, "n"),
+        (1e-12, "p"),
+        (1e-15, "f"),
+        (1e-18, "a"),
+        (1e-21, "z"),
+        (1e-24, "y"),
+    ];
+    let magnitude = value.abs();
+    // Pick the largest prefix whose scale does not exceed the magnitude;
+    // clamp to the ladder ends so 1e-30 still prints (in yocto).
+    let (scale, prefix) = PREFIXES
+        .iter()
+        .find(|(scale, _)| magnitude >= *scale * (1.0 - 1e-12))
+        .copied()
+        .unwrap_or(PREFIXES[PREFIXES.len() - 1]);
+    let mantissa = value / scale;
+    let text = trim_mantissa(mantissa);
+    format!("{text} {prefix}{unit}")
+}
+
+/// Renders a mantissa with 4 significant digits, trimming trailing zeros.
+fn trim_mantissa(mantissa: f64) -> String {
+    // |mantissa| is in [1, 1000) except at ladder ends; pick decimals so
+    // that the total significant digits are 4.
+    let digits_before = if mantissa.abs() >= 100.0 {
+        3
+    } else if mantissa.abs() >= 10.0 {
+        2
+    } else {
+        1
+    };
+    let decimals = 4usize.saturating_sub(digits_before);
+    let mut text = format!("{mantissa:.decimals$}");
+    if text.contains('.') {
+        while text.ends_with('0') {
+            text.pop();
+        }
+        if text.ends_with('.') {
+            text.pop();
+        }
+    }
+    text
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_has_no_prefix() {
+        assert_eq!(format_engineering(0.0, "V"), "0 V");
+    }
+
+    #[test]
+    fn base_units_render_unprefixed() {
+        assert_eq!(format_engineering(1.1, "V"), "1.1 V");
+        assert_eq!(format_engineering(27.0, "°C"), "27 °C");
+    }
+
+    #[test]
+    fn small_values_pick_sub_unit_prefixes() {
+        assert_eq!(format_engineering(37e-6, "A"), "37 µA");
+        assert_eq!(format_engineering(104e-15, "J"), "104 fJ");
+        assert_eq!(format_engineering(1.565e-9, "W"), "1.565 nW");
+    }
+
+    #[test]
+    fn large_values_pick_super_unit_prefixes() {
+        assert_eq!(format_engineering(11_000.0, "Ω"), "11 kΩ");
+        assert_eq!(format_engineering(2.5e9, "Hz"), "2.5 GHz");
+    }
+
+    #[test]
+    fn negative_values_keep_sign() {
+        assert_eq!(format_engineering(-0.45, "V"), "-450 mV");
+    }
+
+    #[test]
+    fn mantissa_keeps_four_significant_digits() {
+        assert_eq!(format_engineering(4.5871e-15, "J"), "4.587 fJ");
+        assert_eq!(format_engineering(123.456e-12, "s"), "123.5 ps");
+    }
+
+    #[test]
+    fn non_finite_values_do_not_panic() {
+        assert_eq!(format_engineering(f64::INFINITY, "V"), "inf V");
+        assert!(format_engineering(f64::NAN, "V").contains("NaN"));
+    }
+
+    #[test]
+    fn below_ladder_clamps_to_yocto() {
+        let text = format_engineering(1e-27, "J");
+        assert!(text.ends_with("yJ"), "{text}");
+    }
+}
