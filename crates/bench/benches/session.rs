@@ -1,0 +1,111 @@
+//! Engine-comparison benchmarks: the reusable [`SimulationSession`]
+//! path against the straight-line reference engine
+//! (`spice::analysis::reference`, the pre-rearchitecture seed solver).
+//!
+//! Two granularities, both on the Table II characterization path:
+//!
+//! * one proposed-latch restore transient (the single hottest
+//!   simulation of the sweep), and
+//! * one full per-corner characterization unit — the four restore
+//!   patterns, a worst-case store and the leakage operating point the
+//!   corner sweep repeats at every grid point.
+//!
+//! The `*_reference_rebuild` variants do what the seed engine did:
+//! rebuild the circuit and reallocate every solver buffer per run. The
+//! `*_session_reuse` variants reuse one latch's cached session. Both
+//! produce bit-identical waveforms (enforced by the
+//! `session_equivalence` test suite in the spice crate), so the ratio
+//! is pure engine overhead.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cells::{LatchConfig, ProposedLatch};
+use spice::analysis::{self, reference};
+
+const RESTORE_PATTERNS: [[bool; 2]; 4] =
+    [[false, false], [false, true], [true, false], [true, true]];
+
+fn cold_start_options() -> analysis::TransientOptions {
+    analysis::TransientOptions {
+        start: analysis::StartCondition::Zero,
+        ..analysis::TransientOptions::default()
+    }
+}
+
+/// The seed path for one restore: rebuild the circuit, then run the
+/// reference engine (which reallocates its matrix, RHS and iterate
+/// buffers every Newton iteration and clones the capacitor list every
+/// step).
+fn restore_via_reference(latch: &ProposedLatch, stored: [bool; 2]) -> usize {
+    let (mut ckt, controls) = latch.restore_circuit(stored).expect("build");
+    let result = reference::transient_with_options(
+        &mut ckt,
+        controls.total,
+        latch.config().time_step,
+        cold_start_options(),
+    )
+    .expect("reference restore");
+    result.sample_count()
+}
+
+fn store_via_reference(latch: &ProposedLatch) -> usize {
+    let (mut ckt, controls) = latch
+        .store_circuit([true, false], [false, true])
+        .expect("build");
+    let step = latch.config().time_step * 5.0;
+    let result = reference::transient(&mut ckt, controls.total, step).expect("reference store");
+    result.sample_count()
+}
+
+fn bench_proposed_restore(c: &mut Criterion) {
+    let latch = ProposedLatch::new(LatchConfig::default());
+    c.bench_function("proposed_restore_reference_rebuild", |b| {
+        b.iter(|| black_box(restore_via_reference(&latch, [true, false])));
+    });
+    let session_latch = ProposedLatch::new(LatchConfig::default());
+    c.bench_function("proposed_restore_session_reuse", |b| {
+        b.iter(|| {
+            let (result, _) = session_latch
+                .restore_traces([true, false])
+                .expect("restore");
+            black_box(result.sample_count())
+        });
+    });
+}
+
+fn bench_table2_corner_unit(c: &mut Criterion) {
+    let latch = ProposedLatch::new(LatchConfig::default());
+    c.bench_function("table2_corner_unit_reference_rebuild", |b| {
+        b.iter(|| {
+            let mut samples = 0;
+            for stored in RESTORE_PATTERNS {
+                samples += restore_via_reference(&latch, stored);
+            }
+            samples += store_via_reference(&latch);
+            let mut idle = latch.idle_circuit().expect("build");
+            let op = reference::op(&mut idle).expect("reference op");
+            black_box(op.branch_current("VDD"));
+            black_box(samples)
+        });
+    });
+    let session_latch = ProposedLatch::new(LatchConfig::default());
+    c.bench_function("table2_corner_unit_session_reuse", |b| {
+        b.iter(|| {
+            let mut samples = 0;
+            for stored in RESTORE_PATTERNS {
+                let (result, _) = session_latch.restore_traces(stored).expect("restore");
+                samples += result.sample_count();
+            }
+            let (result, _) = session_latch
+                .store_traces([true, false], [false, true])
+                .expect("store");
+            samples += result.sample_count();
+            black_box(session_latch.leakage().expect("leakage"));
+            black_box(samples)
+        });
+    });
+}
+
+criterion_group!(benches, bench_proposed_restore, bench_table2_corner_unit);
+criterion_main!(benches);

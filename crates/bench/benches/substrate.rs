@@ -3,23 +3,27 @@
 //! track the performance of the machinery that regenerates the paper's
 //! tables.
 
-use criterion::{Criterion, criterion_group, criterion_main};
+use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use merge::{MergeOptions, Strategy};
 use mtj::{MtjParams, SwitchingModel};
-use netlist::{CellLibrary, benchmarks};
+use netlist::{benchmarks, CellLibrary};
 use place::placer::{self, PlacerOptions};
-use spice::{Circuit, SourceWaveform, Technology, analysis};
+use spice::{analysis, Circuit, SourceWaveform, Technology};
 use units::{Capacitance, Current, Resistance, Time, Voltage};
 
 fn bench_mosfet_model(c: &mut Criterion) {
     let tech = Technology::tsmc40lp();
     c.bench_function("mosfet_evaluate", |b| {
         b.iter(|| {
-            let op = tech
-                .nmos
-                .evaluate(black_box(0.8), black_box(0.6), black_box(0.0), 200e-9, 40e-9);
+            let op = tech.nmos.evaluate(
+                black_box(0.8),
+                black_box(0.6),
+                black_box(0.0),
+                200e-9,
+                40e-9,
+            );
             black_box(op.id)
         });
     });
@@ -29,9 +33,7 @@ fn bench_mtj_switching(c: &mut Criterion) {
     let params = MtjParams::date2018();
     let model = SwitchingModel::new(&params);
     c.bench_function("mtj_switching_time", |b| {
-        b.iter(|| {
-            black_box(model.mean_switching_time(black_box(Current::from_micro_amps(63.0))))
-        });
+        b.iter(|| black_box(model.mean_switching_time(black_box(Current::from_micro_amps(63.0)))));
     });
 }
 

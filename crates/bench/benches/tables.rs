@@ -2,12 +2,12 @@
 //! one per experiment, exercising exactly the code the report binaries
 //! run (at reduced scope so a `cargo bench` pass stays minutes-scale).
 
-use criterion::{Criterion, criterion_group, criterion_main};
+use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use cells::{LatchConfig, ProposedLatch, StandardLatch};
-use layout::{DesignRules, cells as nv_cells, svg};
-use netlist::{CellLibrary, benchmarks};
+use layout::{cells as nv_cells, svg, DesignRules};
+use netlist::{benchmarks, CellLibrary};
 use nvff::system::{self, EvaluationMode, SystemCosts};
 use place::placer::{self, PlacerOptions};
 

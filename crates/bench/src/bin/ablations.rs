@@ -17,10 +17,10 @@ use cells::proposed::ControlScheme;
 use cells::{LatchConfig, ProposedLatch};
 use merge::{MergeOptions, Strategy};
 use mtj::{Mtj, MtjParams, MtjState, WritePolarity};
-use netlist::{CellLibrary, benchmarks};
-use nvff::system::{SystemCosts, roll_up};
+use netlist::{benchmarks, CellLibrary};
+use nvff::system::{roll_up, SystemCosts};
 use place::placer::{self, PlacerOptions};
-use spice::{Circuit, SourceWaveform, analysis};
+use spice::{analysis, Circuit, SourceWaveform};
 use units::{Length, Time, Voltage};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -180,7 +180,7 @@ fn drive_series_mtjs(
         };
         // Alternating polarity, as the complementary pairs are wired;
         // start opposite to the write target so every device must flip.
-        let polarity = if k % 2 == 0 {
+        let polarity = if k.is_multiple_of(2) {
             WritePolarity::PositiveSetsAntiParallel
         } else {
             WritePolarity::PositiveSetsParallel

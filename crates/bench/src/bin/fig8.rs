@@ -2,7 +2,7 @@
 //! non-volatile latch (and the 1-bit baseline for comparison), written
 //! as SVG files into `target/figures/`.
 
-use layout::{DesignRules, cells, svg};
+use layout::{cells, svg, DesignRules};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let rules = DesignRules::n40();

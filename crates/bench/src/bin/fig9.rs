@@ -5,7 +5,7 @@
 use std::fmt::Write as _;
 
 use merge::{MergeOptions, Strategy};
-use netlist::{CellLibrary, benchmarks};
+use netlist::{benchmarks, CellLibrary};
 use place::placer::{self, PlacerOptions};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -42,7 +42,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("svg: {}\n", path.display());
 
     // ---- Merge statistics across all benchmarks --------------------
-    println!("merge statistics at threshold {} (greedy-closest):", options.threshold);
+    println!(
+        "merge statistics at threshold {} (greedy-closest):",
+        options.threshold
+    );
     for spec in benchmarks::Benchmark::ALL {
         let n = benchmarks::generate_scaled(spec, 40_000);
         let placed = placer::place(&n, &lib, &PlacerOptions::default());

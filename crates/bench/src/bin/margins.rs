@@ -6,8 +6,8 @@
 //! * write-error-rate vs. pulse width, with the pulse for a 10⁻⁹ WER;
 //! * retention and latch function across temperature.
 
-use cells::{LatchConfig, ProposedLatch, margin};
-use mtj::{MtjParams, SwitchingModel, ThermalModel, wer};
+use cells::{margin, LatchConfig, ProposedLatch};
+use mtj::{wer, MtjParams, SwitchingModel, ThermalModel};
 use units::{Current, Temperature, Time};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -45,7 +45,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "  4 restore patterns, {} MTJ reversal events — {}\n",
         disturbs,
-        if disturbs == 0 { "disturb-free" } else { "DISTURB DETECTED" },
+        if disturbs == 0 {
+            "disturb-free"
+        } else {
+            "DISTURB DETECTED"
+        },
     );
 
     // ---- Write error rate ---------------------------------------------

@@ -107,8 +107,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let std_area = layout::cells::standard_pair_layout_area(&rules);
     let prop_area = layout::cells::proposed_2bit_layout(&rules).area();
     println!("\n# of transistors (read path)");
-    println!("{}", compare_line("  standard pair", 22.0, published.standard_transistors as f64));
-    println!("{}", compare_line("  proposed", 16.0, published.proposed_transistors as f64));
+    println!(
+        "{}",
+        compare_line(
+            "  standard pair",
+            22.0,
+            published.standard_transistors as f64
+        )
+    );
+    println!(
+        "{}",
+        compare_line("  proposed", 16.0, published.proposed_transistors as f64)
+    );
     println!("\nArea [µm²]");
     println!(
         "{}",
@@ -135,7 +145,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         compare_line("  read-energy improvement [%]", energy_saving * 100.0, 18.8)
     );
     let area_saving = (1.0 - prop_area / std_area) * 100.0;
-    println!("{}", compare_line("  cell-area saving [%]", area_saving, 34.4));
+    println!(
+        "{}",
+        compare_line("  cell-area saving [%]", area_saving, 34.4)
+    );
+
+    // Solver work: total characterization cost per design, summed over
+    // the corner grid (each corner reuses one SimulationSession per
+    // latch, so these counters also measure the workspace-reuse path).
+    let sum_stats = |rows: &[(Corner, CellMetrics)]| {
+        rows.iter()
+            .fold(spice::SolverStats::default(), |acc, (_, m)| acc + m.solver)
+    };
+    let std_stats = sum_stats(&comparison.standard);
+    let prop_stats = sum_stats(&comparison.proposed);
+    println!("\nSolver work (all corners, per design):");
+    for (label, st) in [("standard pair", std_stats), ("proposed", prop_stats)] {
+        println!(
+            "  {label:<14} {} Newton iterations, {} LU factorizations, \
+             {} steps accepted, {} rejected ({} halvings)",
+            st.newton_iterations,
+            st.lu_factorizations,
+            st.accepted_steps,
+            st.rejected_steps,
+            st.step_halvings
+        );
+    }
 
     // Write path (identical between designs by construction).
     let std_cfg = LatchConfig::default();

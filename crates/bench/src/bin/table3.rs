@@ -38,7 +38,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         costs.area_2bit.square_micro_meters(),
         costs.energy_1bit.femto_joules(),
         costs.energy_2bit.femto_joules(),
-        if own_costs { "measured" } else { "paper Table II typical" },
+        if own_costs {
+            "measured"
+        } else {
+            "paper Table II typical"
+        },
     );
 
     println!("\nTABLE III (replay: paper merge counts)");

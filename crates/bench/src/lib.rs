@@ -27,7 +27,11 @@
 /// ```
 #[must_use]
 pub fn compare_line(label: &str, measured: f64, paper: f64) -> String {
-    let ratio = if paper != 0.0 { measured / paper } else { f64::NAN };
+    let ratio = if paper != 0.0 {
+        measured / paper
+    } else {
+        f64::NAN
+    };
     format!("{label:<34} measured {measured:>10.3}   paper {paper:>10.3}   ratio {ratio:>5.2}")
 }
 
@@ -38,7 +42,13 @@ pub fn compare_line(label: &str, measured: f64, paper: f64) -> String {
 ///
 /// Panics if `width` or `height` is zero or the trace is empty.
 #[must_use]
-pub fn ascii_waveform(name: &str, times: &[f64], values: &[f64], width: usize, height: usize) -> String {
+pub fn ascii_waveform(
+    name: &str,
+    times: &[f64],
+    values: &[f64],
+    width: usize,
+    height: usize,
+) -> String {
     assert!(width > 0 && height > 0, "width and height must be positive");
     assert!(!times.is_empty(), "empty trace");
     let t0 = times[0];
@@ -128,7 +138,10 @@ mod tests {
 
     #[test]
     fn csv_has_header_and_rows() {
-        let csv = traces_to_csv(&[0.0, 1.0], &[("a", &[1.0, 2.0][..]), ("b", &[3.0, 4.0][..])]);
+        let csv = traces_to_csv(
+            &[0.0, 1.0],
+            &[("a", &[1.0, 2.0][..]), ("b", &[3.0, 4.0][..])],
+        );
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines[0], "time_s,a,b");
         assert_eq!(lines.len(), 3);

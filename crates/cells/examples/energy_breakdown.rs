@@ -67,7 +67,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         print!("{:7.1}", -ivdd.value_at(t) * 1e6);
     }
     println!();
-    println!("(samples every {:.0} ps)", controls.total.seconds() / 30.0 * 1e12);
+    println!(
+        "(samples every {:.0} ps)",
+        controls.total.seconds() / 30.0 * 1e12
+    );
 
     // Key node voltages at window boundaries.
     println!("\nnode levels:");

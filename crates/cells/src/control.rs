@@ -249,12 +249,7 @@ pub fn store(timing: &Timing, vdd: f64) -> StoreControls {
     StoreControls {
         wen: gate_waveform(&[(t0, t1)], lo, hi, timing.edge),
         wen_b: gate_waveform(&[(t0, t1)], hi, lo, timing.edge),
-        pcg: gate_waveform(
-            &[(timing.edge, t0 - timing.edge)],
-            lo,
-            hi,
-            timing.edge,
-        ),
+        pcg: gate_waveform(&[(timing.edge, t0 - timing.edge)], lo, hi, timing.edge),
         write_start: t0,
         write_end: t1,
         total,
@@ -289,8 +284,14 @@ mod tests {
     fn gate_waveform_multi_window() {
         let w = gate_waveform(
             &[
-                (Time::from_pico_seconds(100.0), Time::from_pico_seconds(200.0)),
-                (Time::from_pico_seconds(400.0), Time::from_pico_seconds(500.0)),
+                (
+                    Time::from_pico_seconds(100.0),
+                    Time::from_pico_seconds(200.0),
+                ),
+                (
+                    Time::from_pico_seconds(400.0),
+                    Time::from_pico_seconds(500.0),
+                ),
             ],
             Voltage::from_volts(1.1),
             Voltage::ZERO,
@@ -314,8 +315,14 @@ mod tests {
     fn overlapping_windows_panic() {
         let _ = gate_waveform(
             &[
-                (Time::from_pico_seconds(100.0), Time::from_pico_seconds(300.0)),
-                (Time::from_pico_seconds(200.0), Time::from_pico_seconds(400.0)),
+                (
+                    Time::from_pico_seconds(100.0),
+                    Time::from_pico_seconds(300.0),
+                ),
+                (
+                    Time::from_pico_seconds(200.0),
+                    Time::from_pico_seconds(400.0),
+                ),
             ],
             Voltage::ZERO,
             Voltage::from_volts(1.1),
@@ -389,7 +396,7 @@ mod tests {
             let waves = [&c.pcv_b, &c.pcg, &c.p4_b, &c.n4];
             let mut unique: Vec<&SourceWaveform> = Vec::new();
             for w in waves {
-                if !unique.iter().any(|u| *u == w) {
+                if !unique.contains(&w) {
                     unique.push(w);
                 }
             }
@@ -407,10 +414,7 @@ mod tests {
     fn store_pulse_window() {
         let c = store(&timing(), 1.1);
         assert_eq!(c.write_start, timing().lead_in);
-        assert_eq!(
-            c.write_end,
-            timing().lead_in + timing().write_pulse
-        );
+        assert_eq!(c.write_end, timing().lead_in + timing().write_pulse);
         let mid = ((c.write_start + c.write_end) * 0.5).seconds();
         assert_eq!(c.wen.value_at(mid), 1.1);
         assert_eq!(c.wen_b.value_at(mid), 0.0);

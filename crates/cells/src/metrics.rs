@@ -32,6 +32,8 @@ pub struct RestoreOutcome<const N: usize> {
     /// metric (control signals belong to the global power-down
     /// controller and are excluded there).
     pub supply_energy: Energy,
+    /// Solver work spent on this transient.
+    pub solver: spice::SolverStats,
 }
 
 /// Outcome of a store (write) simulation over `N` bits.
@@ -51,6 +53,8 @@ pub struct StoreOutcome<const N: usize> {
     pub latency: Time,
     /// Number of MTJ reversals observed.
     pub switch_count: usize,
+    /// Solver work spent on this transient.
+    pub solver: spice::SolverStats,
 }
 
 /// Resolves a complementary output pair to a logic value, or `None` if
@@ -131,6 +135,8 @@ pub struct CellMetrics {
     pub write_latency: Time,
     /// Read-path transistor count (Table II excludes write components).
     pub read_transistors: usize,
+    /// Total solver work spent characterizing the cell at this corner.
+    pub solver: spice::SolverStats,
 }
 
 /// Characterizes two standard 1-bit latches at a corner (the Table II
@@ -156,6 +162,7 @@ pub fn characterize_standard_pair(config: &LatchConfig) -> Result<CellMetrics, C
         write_energy: w.energy * 2.0,
         write_latency: w.latency,
         read_transistors: latch.read_path_transistors() * 2,
+        solver: latch.solver_stats(),
     })
 }
 
@@ -183,6 +190,7 @@ pub fn characterize_proposed(config: &LatchConfig) -> Result<CellMetrics, CellEr
         write_energy: w.energy,
         write_latency: w.latency,
         read_transistors: latch.read_path_transistors(),
+        solver: latch.solver_stats(),
     })
 }
 
@@ -273,22 +281,14 @@ impl LatchComparison {
     /// Envelope of a metric over the standard design's corners.
     #[must_use]
     pub fn standard_envelope(&self, metric: impl Fn(&CellMetrics) -> f64) -> CornerEnvelope {
-        let v: Vec<(Corner, f64)> = self
-            .standard
-            .iter()
-            .map(|(c, m)| (*c, metric(m)))
-            .collect();
+        let v: Vec<(Corner, f64)> = self.standard.iter().map(|(c, m)| (*c, metric(m))).collect();
         CornerEnvelope::from_corner_values(&v)
     }
 
     /// Envelope of a metric over the proposed design's corners.
     #[must_use]
     pub fn proposed_envelope(&self, metric: impl Fn(&CellMetrics) -> f64) -> CornerEnvelope {
-        let v: Vec<(Corner, f64)> = self
-            .proposed
-            .iter()
-            .map(|(c, m)| (*c, metric(m)))
-            .collect();
+        let v: Vec<(Corner, f64)> = self.proposed.iter().map(|(c, m)| (*c, metric(m))).collect();
         CornerEnvelope::from_corner_values(&v)
     }
 

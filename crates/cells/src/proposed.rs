@@ -32,14 +32,16 @@
 //!
 //! 16 read-path transistors for 2 bits versus the standard baseline's 22.
 
+use std::cell::RefCell;
+
 use mtj::{Mtj, MtjState, WritePolarity};
-use spice::{Circuit, NodeId, SourceWaveform, analysis};
+use spice::{Circuit, NodeId, SimulationSession, SourceWaveform};
 use units::Time;
 
 use crate::config::LatchConfig;
 use crate::control::{self, ProposedRestoreControls, StoreControls};
 use crate::error::CellError;
-use crate::metrics::{RestoreOutcome, StoreOutcome, resolve_bit, sense_delay};
+use crate::metrics::{resolve_bit, sense_delay, RestoreOutcome, StoreOutcome};
 
 /// Which restore control scheme drives the simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -56,6 +58,12 @@ pub enum ControlScheme {
 /// Bit 0 lives in the lower MTJ pair (read first), bit 1 in the upper
 /// pair (read second), matching the paper's Fig. 6(b) ordering.
 ///
+/// The circuit is built once and bound to a cached
+/// [`SimulationSession`]; successive simulations retarget the source
+/// waveforms and MTJ presets in place, reusing the session's solver
+/// workspace. The cache is per-instance, so corner sweeps stay
+/// trivially parallel with one latch per thread.
+///
 /// # Examples
 ///
 /// ```
@@ -68,10 +76,19 @@ pub enum ControlScheme {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct ProposedLatch {
     config: LatchConfig,
     scheme: ControlScheme,
+    session: RefCell<Option<SimulationSession>>,
+}
+
+impl Clone for ProposedLatch {
+    /// Clones the configuration and scheme; the solver-session cache
+    /// starts empty in the clone (rebuilt lazily on first simulation).
+    fn clone(&self) -> Self {
+        Self::with_scheme(self.config.clone(), self.scheme)
+    }
 }
 
 mod names {
@@ -88,16 +105,61 @@ impl ProposedLatch {
     /// Creates a harness with the optimized (Fig. 7) control scheme.
     #[must_use]
     pub fn new(config: LatchConfig) -> Self {
-        Self {
-            config,
-            scheme: ControlScheme::Optimized,
-        }
+        Self::with_scheme(config, ControlScheme::Optimized)
     }
 
     /// Creates a harness with an explicit control-scheme choice.
     #[must_use]
     pub fn with_scheme(config: LatchConfig, scheme: ControlScheme) -> Self {
-        Self { config, scheme }
+        Self {
+            config,
+            scheme,
+            session: RefCell::new(None),
+        }
+    }
+
+    /// Cumulative solver work performed by this latch's cached session
+    /// (zero if nothing has been simulated yet).
+    #[must_use]
+    pub fn solver_stats(&self) -> spice::SolverStats {
+        self.session
+            .borrow()
+            .as_ref()
+            .map(spice::SimulationSession::stats)
+            .unwrap_or_default()
+    }
+
+    /// Runs `f` against the cached [`SimulationSession`], first aiming
+    /// the circuit at the given stimulus and MTJ presets. The topology
+    /// never changes between runs, so after the first build every call
+    /// retargets the existing session in place.
+    fn with_session<T>(
+        &self,
+        stim: &Stimulus,
+        stored: [bool; 2],
+        f: impl FnOnce(&mut SimulationSession) -> Result<T, CellError>,
+    ) -> Result<T, CellError> {
+        let mut slot = self.session.borrow_mut();
+        let session = match slot.as_mut() {
+            Some(session) => session,
+            None => {
+                let ckt = self.build(stim, stored)?;
+                slot.insert(SimulationSession::new(ckt))
+            }
+        };
+        let ckt = session.circuit_mut();
+        for (name, wave) in &stim.entries {
+            ckt.set_source_waveform(name, wave.clone())?;
+        }
+        // `set_mtj_state` discards switching progress, fully rewinding
+        // the previous run's writes. Mappings mirror `build`.
+        let state1 = MtjState::from_bit(stored[1]);
+        ckt.set_mtj_state(names::MTJ1, state1.toggled())?;
+        ckt.set_mtj_state(names::MTJ2, state1)?;
+        let state0 = MtjState::from_bit(stored[0]);
+        ckt.set_mtj_state(names::MTJ3, state0)?;
+        ckt.set_mtj_state(names::MTJ4, state0.toggled())?;
+        f(session)
     }
 
     /// The configuration in use.
@@ -147,6 +209,53 @@ impl ProposedLatch {
         }
     }
 
+    /// Builds the fully-stimulated restore circuit and its control
+    /// schedule without simulating — the raw input of
+    /// [`ProposedLatch::restore_traces`], exposed so external tooling
+    /// (netlist dumps, engine-comparison benchmarks) can drive the
+    /// circuit through an engine of its choice.
+    ///
+    /// # Errors
+    ///
+    /// [`CellError::Simulation`] if the circuit cannot be built.
+    pub fn restore_circuit(
+        &self,
+        stored: [bool; 2],
+    ) -> Result<(Circuit, ProposedRestoreControls), CellError> {
+        let vdd = self.config.vdd();
+        let controls = self.restore_controls();
+        let ckt = self.build(&Stimulus::restore(&controls, vdd), stored)?;
+        Ok((ckt, controls))
+    }
+
+    /// Builds the fully-stimulated store circuit and its control
+    /// schedule without simulating (see
+    /// [`ProposedLatch::restore_circuit`]).
+    ///
+    /// # Errors
+    ///
+    /// [`CellError::Simulation`] if the circuit cannot be built.
+    pub fn store_circuit(
+        &self,
+        data: [bool; 2],
+        initial: [bool; 2],
+    ) -> Result<(Circuit, StoreControls), CellError> {
+        let vdd = self.config.vdd();
+        let controls = control::store(&self.config.timing, vdd);
+        let ckt = self.build(&Stimulus::store(&controls, vdd, data), initial)?;
+        Ok((ckt, controls))
+    }
+
+    /// Builds the idle circuit used for the leakage operating point (see
+    /// [`ProposedLatch::restore_circuit`]).
+    ///
+    /// # Errors
+    ///
+    /// [`CellError::Simulation`] if the circuit cannot be built.
+    pub fn idle_circuit(&self) -> Result<Circuit, CellError> {
+        self.build(&Stimulus::idle(&self.config), [false, false])
+    }
+
     /// Simulates the sequential two-bit restore with the MTJ pairs preset
     /// to hold `stored = [bit0, bit1]`.
     ///
@@ -165,22 +274,20 @@ impl ProposedLatch {
 
         // Bit 0: sampled at the end of the lower-pair evaluation.
         let s0 = controls.eval0_end.seconds();
-        let bit0 = resolve_bit(q.value_at(s0), qb.value_at(s0), vdd).ok_or(
-            CellError::SenseFailure {
+        let bit0 =
+            resolve_bit(q.value_at(s0), qb.value_at(s0), vdd).ok_or(CellError::SenseFailure {
                 bit: 0,
                 q: q.value_at(s0),
                 qb: qb.value_at(s0),
-            },
-        )?;
+            })?;
         // Bit 1: sampled at the end of the upper-pair evaluation.
         let s1 = controls.eval1_end.seconds();
-        let bit1 = resolve_bit(q.value_at(s1), qb.value_at(s1), vdd).ok_or(
-            CellError::SenseFailure {
+        let bit1 =
+            resolve_bit(q.value_at(s1), qb.value_at(s1), vdd).ok_or(CellError::SenseFailure {
                 bit: 1,
                 q: q.value_at(s1),
                 qb: qb.value_at(s1),
-            },
-        )?;
+            })?;
 
         // Lower read evaluates downward from VDD (loser falls); upper
         // read evaluates upward from GND (winner rises).
@@ -210,6 +317,7 @@ impl ProposedLatch {
             sequence_duration: controls.eval1_end - controls.eval0_start,
             energy: result.total_source_energy(Time::ZERO, controls.total),
             supply_energy: result.supply_energy("VDD", Time::ZERO, controls.total)?,
+            solver: result.solver_stats(),
         })
     }
 
@@ -226,7 +334,6 @@ impl ProposedLatch {
     ) -> Result<(spice::TransientResult, ProposedRestoreControls), CellError> {
         let vdd = self.config.vdd();
         let controls = self.restore_controls();
-        let mut ckt = self.build(&Stimulus::restore(&controls, vdd), stored)?;
         // Restore happens at wake-up from a power-gated state: every
         // internal node starts at 0 V (cold start), not at a powered
         // operating point.
@@ -234,12 +341,9 @@ impl ProposedLatch {
             start: spice::analysis::StartCondition::Zero,
             ..spice::analysis::TransientOptions::default()
         };
-        let result = analysis::transient_with_options(
-            &mut ckt,
-            controls.total,
-            self.config.time_step,
-            options,
-        )?;
+        let result = self.with_session(&Stimulus::restore(&controls, vdd), stored, |session| {
+            Ok(session.transient_with_options(controls.total, self.config.time_step, options)?)
+        })?;
         Ok((result, controls))
     }
 
@@ -256,9 +360,11 @@ impl ProposedLatch {
     ) -> Result<(spice::TransientResult, StoreControls), CellError> {
         let vdd = self.config.vdd();
         let controls = control::store(&self.config.timing, vdd);
-        let mut ckt = self.build(&Stimulus::store(&controls, vdd, data), initial)?;
         let step = self.config.time_step * 5.0;
-        let result = analysis::transient(&mut ckt, controls.total, step)?;
+        let result =
+            self.with_session(&Stimulus::store(&controls, vdd, data), initial, |session| {
+                Ok(session.transient(controls.total, step)?)
+            })?;
         Ok((result, controls))
     }
 
@@ -277,32 +383,34 @@ impl ProposedLatch {
     ) -> Result<StoreOutcome<2>, CellError> {
         let vdd = self.config.vdd();
         let controls = control::store(&self.config.timing, vdd);
-        let mut ckt = self.build(&Stimulus::store(&controls, vdd, data), initial)?;
         let step = self.config.time_step * 5.0;
-        let result = analysis::transient(&mut ckt, controls.total, step)?;
+        let (result, end_states) =
+            self.with_session(&Stimulus::store(&controls, vdd, data), initial, |session| {
+                let result = session.transient(controls.total, step)?;
+                let state = |name| session.circuit().mtj_state(name).expect("MTJ exists");
+                let end_states = [
+                    (state(names::MTJ3), state(names::MTJ4)),
+                    (state(names::MTJ2), state(names::MTJ1)),
+                ];
+                Ok((result, end_states))
+            })?;
 
         // Bit 0's primary device is MTJ3 (= from_bit(bit0)); bit 1's is
         // MTJ2 — MTJ1 intentionally holds the complement so that the
         // upper-pair read resolves `q` to the true bit value.
-        for (bit, (primary, complement)) in
-            [(names::MTJ3, names::MTJ4), (names::MTJ2, names::MTJ1)]
-                .iter()
-                .enumerate()
-        {
-            let p = ckt.mtj_state(primary).expect("primary MTJ exists");
-            let c = ckt.mtj_state(complement).expect("complement MTJ exists");
+        for (bit, (p, c)) in end_states.into_iter().enumerate() {
             if p != MtjState::from_bit(data[bit]) || c != p.toggled() {
                 return Err(CellError::StoreFailure { bit });
             }
         }
-        let (energy, pulse_energy, latency) =
-            crate::metrics::store_energies(&result, &controls);
+        let (energy, pulse_energy, latency) = crate::metrics::store_energies(&result, &controls);
         Ok(StoreOutcome {
             stored: data,
             energy,
             pulse_energy,
             latency,
             switch_count: result.mtj_events().len(),
+            solver: result.solver_stats(),
         })
     }
 
@@ -313,8 +421,7 @@ impl ProposedLatch {
     /// [`CellError::Simulation`] if the operating point fails.
     pub fn leakage(&self) -> Result<units::Power, CellError> {
         let stim = Stimulus::idle(&self.config);
-        let mut ckt = self.build(&stim, [false, false])?;
-        let op = analysis::op(&mut ckt)?;
+        let op = self.with_session(&stim, [false, false], |session| Ok(session.op()?))?;
         let mut watts = 0.0;
         for (name, level) in stim.levels() {
             if let Some(i) = op.branch_current(&name) {
@@ -387,8 +494,26 @@ impl ProposedLatch {
         ckt.add_pmos("P4", tl, p4_b, tr, tech, s.equalizer)?;
         ckt.add_nmos("N4", nl, n4, nr, tech, s.equalizer)?;
         // Lower-pair isolation transmission gates.
-        crate::subckt::add_transmission_gate(&mut ckt, "T1", nl, a3, ren, ren_b, tech, s.transmission)?;
-        crate::subckt::add_transmission_gate(&mut ckt, "T2", nr, a4, ren, ren_b, tech, s.transmission)?;
+        crate::subckt::add_transmission_gate(
+            &mut ckt,
+            "T1",
+            nl,
+            a3,
+            ren,
+            ren_b,
+            tech,
+            s.transmission,
+        )?;
+        crate::subckt::add_transmission_gate(
+            &mut ckt,
+            "T2",
+            nr,
+            a4,
+            ren,
+            ren_b,
+            tech,
+            s.transmission,
+        )?;
 
         // Upper complementary pair (bit 1): tl —MTJ1— mt —MTJ2— tr.
         // Polarities chosen so the I1/I2 drive of D1 = 1 leaves MTJ1 = P,
@@ -440,20 +565,65 @@ impl ProposedLatch {
         // tr), so D1 = 1 drives tr → mt → tl and stores MTJ1 = P /
         // MTJ2 = AP — the orientation that makes `q` win the upper read.
         crate::subckt::add_tristate_inverter(
-            &mut ckt, "I3", d0b, a3, wen, wen_b, vdd, gnd, tech, s.write_pmos, s.write_nmos,
+            &mut ckt,
+            "I3",
+            d0b,
+            a3,
+            wen,
+            wen_b,
+            vdd,
+            gnd,
+            tech,
+            s.write_pmos,
+            s.write_nmos,
         )?;
         crate::subckt::add_tristate_inverter(
-            &mut ckt, "I4", d0, a4, wen, wen_b, vdd, gnd, tech, s.write_pmos, s.write_nmos,
+            &mut ckt,
+            "I4",
+            d0,
+            a4,
+            wen,
+            wen_b,
+            vdd,
+            gnd,
+            tech,
+            s.write_pmos,
+            s.write_nmos,
         )?;
         crate::subckt::add_tristate_inverter(
-            &mut ckt, "I1", d1, tl, wen, wen_b, vdd, gnd, tech, s.write_pmos, s.write_nmos,
+            &mut ckt,
+            "I1",
+            d1,
+            tl,
+            wen,
+            wen_b,
+            vdd,
+            gnd,
+            tech,
+            s.write_pmos,
+            s.write_nmos,
         )?;
         crate::subckt::add_tristate_inverter(
-            &mut ckt, "I2", d1b, tr, wen, wen_b, vdd, gnd, tech, s.write_pmos, s.write_nmos,
+            &mut ckt,
+            "I2",
+            d1b,
+            tr,
+            wen,
+            wen_b,
+            vdd,
+            gnd,
+            tech,
+            s.write_pmos,
+            s.write_nmos,
         )?;
         // Output wiring load.
         ckt.add_capacitor("CQ", q, gnd, s.output_load)?;
-        ckt.add_capacitor("CQB", qb, gnd, s.output_load * (1.0 + s.output_load_mismatch))?;
+        ckt.add_capacitor(
+            "CQB",
+            qb,
+            gnd,
+            s.output_load * (1.0 + s.output_load_mismatch),
+        )?;
         let _ = (NodeId::GROUND, mt);
         Ok(ckt)
     }
@@ -611,6 +781,24 @@ mod tests {
             .expect("store");
         // Bit 1 already held: only the lower pair (2 devices) flips.
         assert_eq!(out.switch_count, 2);
+    }
+
+    #[test]
+    fn session_reuse_is_deterministic() {
+        let l = latch();
+        let first = l.simulate_restore([true, false]).expect("first restore");
+        // A store flips all four MTJs and dirties the session workspace;
+        // the repeated restore must still reproduce the first bit-for-bit.
+        let _ = l
+            .simulate_store([false, true], [true, false])
+            .expect("store");
+        let again = l.simulate_restore([true, false]).expect("second restore");
+        assert_eq!(first, again);
+        assert!(l.solver_stats().accepted_steps > 0);
+        let fresh = latch()
+            .simulate_restore([true, false])
+            .expect("fresh restore");
+        assert_eq!(first, fresh);
     }
 
     #[test]

@@ -69,7 +69,10 @@ impl CircuitSetup {
                 "TMR @ 0V".into(),
                 format!("{:.0}%", mtj.tmr_zero_bias() * 100.0),
             ),
-            ("Critical current".into(), mtj.critical_current().to_string()),
+            (
+                "Critical current".into(),
+                mtj.critical_current().to_string(),
+            ),
             (
                 "Switching current".into(),
                 mtj.nominal_write_current().to_string(),

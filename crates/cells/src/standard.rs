@@ -25,20 +25,24 @@
 //! pair to opposite states. 11 read-path transistors; the paper's 2-bit
 //! comparison baseline is two of these cells.
 
+use std::cell::RefCell;
+
 use mtj::{Mtj, MtjState, WritePolarity};
-use spice::{Circuit, SourceWaveform, analysis};
+use spice::{analysis, Circuit, SimulationSession, SourceWaveform};
 use units::Time;
 
 use crate::config::LatchConfig;
 use crate::control::{self, StandardRestoreControls, StoreControls};
 use crate::error::CellError;
-use crate::metrics::{RestoreOutcome, StoreOutcome, resolve_bit, sense_delay};
+use crate::metrics::{resolve_bit, sense_delay, RestoreOutcome, StoreOutcome};
 
 /// A standard 1-bit NV shadow latch characterization harness.
 ///
-/// The struct owns only the configuration; every simulation builds a
-/// fresh circuit so runs are independent and corner sweeps are trivially
-/// parallel.
+/// The circuit is built once and bound to a cached
+/// [`SimulationSession`]; successive simulations retarget the source
+/// waveforms and MTJ presets in place, reusing the session's solver
+/// workspace. Corner sweeps stay trivially parallel — each thread
+/// creates its own latch (the cache is per-instance and never shared).
 ///
 /// # Examples
 ///
@@ -52,9 +56,18 @@ use crate::metrics::{RestoreOutcome, StoreOutcome, resolve_bit, sense_delay};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct StandardLatch {
     config: LatchConfig,
+    session: RefCell<Option<SimulationSession>>,
+}
+
+impl Clone for StandardLatch {
+    /// Clones the configuration; the solver-session cache starts empty in
+    /// the clone (it is rebuilt lazily on first simulation).
+    fn clone(&self) -> Self {
+        Self::new(self.config.clone())
+    }
 }
 
 /// Node/source names used by the harness (kept in one place so tests and
@@ -72,13 +85,27 @@ impl StandardLatch {
     /// Creates a harness for the given configuration.
     #[must_use]
     pub fn new(config: LatchConfig) -> Self {
-        Self { config }
+        Self {
+            config,
+            session: RefCell::new(None),
+        }
     }
 
     /// The configuration in use.
     #[must_use]
     pub fn config(&self) -> &LatchConfig {
         &self.config
+    }
+
+    /// Cumulative solver work performed by this latch's cached session
+    /// (zero if nothing has been simulated yet).
+    #[must_use]
+    pub fn solver_stats(&self) -> spice::SolverStats {
+        self.session
+            .borrow()
+            .as_ref()
+            .map(spice::SimulationSession::stats)
+            .unwrap_or_default()
     }
 
     /// Number of read-path transistors (excluding write drivers) — the
@@ -120,12 +147,13 @@ impl StandardLatch {
         let q = result.node(names::Q)?;
         let qb = result.node(names::QB)?;
         let sample_at = controls.eval_end.seconds();
-        let bit = resolve_bit(q.value_at(sample_at), qb.value_at(sample_at), vdd)
-            .ok_or(CellError::SenseFailure {
+        let bit = resolve_bit(q.value_at(sample_at), qb.value_at(sample_at), vdd).ok_or(
+            CellError::SenseFailure {
                 bit: 0,
                 q: q.value_at(sample_at),
                 qb: qb.value_at(sample_at),
-            })?;
+            },
+        )?;
 
         // The losing output falls from the VDD pre-charge level.
         let loser = if bit { qb } else { q };
@@ -144,6 +172,7 @@ impl StandardLatch {
             sequence_duration: controls.eval_end - controls.eval_start,
             energy: result.total_source_energy(Time::ZERO, controls.total),
             supply_energy: result.supply_energy(names::VDD_SOURCE, Time::ZERO, controls.total)?,
+            solver: result.solver_stats(),
         })
     }
 
@@ -160,16 +189,20 @@ impl StandardLatch {
     ) -> Result<(spice::TransientResult, StandardRestoreControls), CellError> {
         let vdd = self.config.vdd();
         let controls = control::standard_restore(&self.config.timing, vdd);
-        let mut ckt = self.build(&IdleControls::from_restore(&controls, vdd), stored)?;
         let options = analysis::TransientOptions {
             start: analysis::StartCondition::Zero,
             ..analysis::TransientOptions::default()
         };
-        let result = analysis::transient_with_options(
-            &mut ckt,
-            controls.total,
-            self.config.time_step,
-            options,
+        let result = self.with_session(
+            &IdleControls::from_restore(&controls, vdd),
+            stored,
+            |session| {
+                Ok(session.transient_with_options(
+                    controls.total,
+                    self.config.time_step,
+                    options,
+                )?)
+            },
         )?;
         Ok((result, controls))
     }
@@ -189,24 +222,35 @@ impl StandardLatch {
     ) -> Result<StoreOutcome<1>, CellError> {
         let vdd = self.config.vdd();
         let controls = control::store(&self.config.timing, vdd);
-        let mut ckt = self.build(&IdleControls::from_store(&controls, vdd, data[0]), initial)?;
         // Write dynamics are nanosecond-scale; a coarser step suffices.
         let step = self.config.time_step * 5.0;
-        let result = analysis::transient(&mut ckt, controls.total, step)?;
-
-        let a = ckt.mtj_state(names::MTJ_A).expect("MTJA exists");
-        let b = ckt.mtj_state(names::MTJ_B).expect("MTJB exists");
+        let (result, a, b) = self.with_session(
+            &IdleControls::from_store(&controls, vdd, data[0]),
+            initial,
+            |session| {
+                let result = session.transient(controls.total, step)?;
+                let a = session
+                    .circuit()
+                    .mtj_state(names::MTJ_A)
+                    .expect("MTJA exists");
+                let b = session
+                    .circuit()
+                    .mtj_state(names::MTJ_B)
+                    .expect("MTJB exists");
+                Ok((result, a, b))
+            },
+        )?;
         if a != MtjState::from_bit(data[0]) || b != a.toggled() {
             return Err(CellError::StoreFailure { bit: 0 });
         }
-        let (energy, pulse_energy, latency) =
-            crate::metrics::store_energies(&result, &controls);
+        let (energy, pulse_energy, latency) = crate::metrics::store_energies(&result, &controls);
         Ok(StoreOutcome {
             stored: [data[0]],
             energy,
             pulse_energy,
             latency,
             switch_count: result.mtj_events().len(),
+            solver: result.solver_stats(),
         })
     }
 
@@ -217,17 +261,50 @@ impl StandardLatch {
     ///
     /// [`CellError::Simulation`] if the operating point fails.
     pub fn leakage(&self) -> Result<units::Power, CellError> {
-        let mut ckt = self.build(&IdleControls::restore_idle(&self.config), [false])?;
-        let op = analysis::op(&mut ckt)?;
+        let idle = IdleControls::restore_idle(&self.config);
+        let op = self.with_session(&idle, [false], |session| Ok(session.op()?))?;
         let vdd = self.config.vdd();
         // Sum v·(−i) over every source; controls at 0 V contribute 0.
         let mut watts = 0.0;
-        for (name, level) in IdleControls::restore_idle(&self.config).levels(vdd) {
+        for (name, level) in idle.levels(vdd) {
             if let Some(i) = op.branch_current(&name) {
                 watts += level * -i;
             }
         }
         Ok(units::Power::from_watts(watts))
+    }
+
+    /// Runs `f` against the cached [`SimulationSession`], first aiming
+    /// the circuit at the given stimulus and MTJ preset.
+    ///
+    /// The circuit topology never changes between runs — only source
+    /// waveforms and MTJ states do — so the first call builds the
+    /// circuit and every later call retargets the existing session in
+    /// place, reusing its solver workspace.
+    fn with_session<T>(
+        &self,
+        controls: &IdleControls,
+        stored: [bool; 1],
+        f: impl FnOnce(&mut SimulationSession) -> Result<T, CellError>,
+    ) -> Result<T, CellError> {
+        let mut slot = self.session.borrow_mut();
+        let session = match slot.as_mut() {
+            Some(session) => session,
+            None => {
+                let ckt = self.build(controls, stored)?;
+                slot.insert(SimulationSession::new(ckt))
+            }
+        };
+        let ckt = session.circuit_mut();
+        for (name, wave) in controls.waves() {
+            ckt.set_source_waveform(name, wave.clone())?;
+        }
+        // `set_mtj_state` discards any switching progress, so this fully
+        // rewinds the previous run's writes.
+        let state_a = MtjState::from_bit(stored[0]);
+        ckt.set_mtj_state(names::MTJ_A, state_a)?;
+        ckt.set_mtj_state(names::MTJ_B, state_a.toggled())?;
+        f(session)
     }
 
     /// Builds the latch circuit with the given control stimulus and the
@@ -267,8 +344,26 @@ impl StandardLatch {
         ckt.add_nmos("N1", q, qb, sl, tech, s.cross_nmos)?;
         ckt.add_nmos("N2", qb, q, sr, tech, s.cross_nmos)?;
         // Isolation transmission gates.
-        crate::subckt::add_transmission_gate(&mut ckt, "T1", sl, w1, sen, sen_b, tech, s.transmission)?;
-        crate::subckt::add_transmission_gate(&mut ckt, "T2", sr, w2, sen, sen_b, tech, s.transmission)?;
+        crate::subckt::add_transmission_gate(
+            &mut ckt,
+            "T1",
+            sl,
+            w1,
+            sen,
+            sen_b,
+            tech,
+            s.transmission,
+        )?;
+        crate::subckt::add_transmission_gate(
+            &mut ckt,
+            "T2",
+            sr,
+            w2,
+            sen,
+            sen_b,
+            tech,
+            s.transmission,
+        )?;
         // Sense-enable footer.
         ckt.add_nmos("NEN", wm, sen, gnd, tech, s.sense_enable)?;
         // Complementary MTJ pair.
@@ -277,25 +372,58 @@ impl StandardLatch {
             names::MTJ_A,
             w1,
             wm,
-            Mtj::new(cfg.mtj.clone(), state_a, WritePolarity::PositiveSetsAntiParallel),
+            Mtj::new(
+                cfg.mtj.clone(),
+                state_a,
+                WritePolarity::PositiveSetsAntiParallel,
+            ),
         )?;
         ckt.add_mtj(
             names::MTJ_B,
             wm,
             w2,
-            Mtj::new(cfg.mtj.clone(), state_a.toggled(), WritePolarity::PositiveSetsParallel),
+            Mtj::new(
+                cfg.mtj.clone(),
+                state_a.toggled(),
+                WritePolarity::PositiveSetsParallel,
+            ),
         )?;
         // Write drivers: IA at w1 takes D̄, IB at w2 takes D, so D = 1
         // pushes current w1 → wm → w2 and stores MTJ-A = AP.
         crate::subckt::add_tristate_inverter(
-            &mut ckt, "IA", db, w1, wen, wen_b, vdd, gnd, tech, s.write_pmos, s.write_nmos,
+            &mut ckt,
+            "IA",
+            db,
+            w1,
+            wen,
+            wen_b,
+            vdd,
+            gnd,
+            tech,
+            s.write_pmos,
+            s.write_nmos,
         )?;
         crate::subckt::add_tristate_inverter(
-            &mut ckt, "IB", d, w2, wen, wen_b, vdd, gnd, tech, s.write_pmos, s.write_nmos,
+            &mut ckt,
+            "IB",
+            d,
+            w2,
+            wen,
+            wen_b,
+            vdd,
+            gnd,
+            tech,
+            s.write_pmos,
+            s.write_nmos,
         )?;
         // Output wiring load.
         ckt.add_capacitor("CQ", q, gnd, s.output_load)?;
-        ckt.add_capacitor("CQB", qb, gnd, s.output_load * (1.0 + s.output_load_mismatch))?;
+        ckt.add_capacitor(
+            "CQB",
+            qb,
+            gnd,
+            s.output_load * (1.0 + s.output_load_mismatch),
+        )?;
         Ok(ckt)
     }
 }
@@ -375,6 +503,21 @@ impl IdleControls {
         ]
     }
 
+    /// `(source name, waveform)` pairs for retargeting an already-built
+    /// circuit between session runs.
+    fn waves(&self) -> [(&'static str, &SourceWaveform); 8] {
+        [
+            ("VDD", &self.vdd_wave),
+            ("VPCB", &self.pc_b),
+            ("VSEN", &self.sen),
+            ("VSENB", &self.sen_b),
+            ("VD", &self.d),
+            ("VDB", &self.db),
+            ("VWEN", &self.wen),
+            ("VWENB", &self.wen_b),
+        ]
+    }
+
     /// `(source name, idle level)` pairs for leakage power accounting.
     fn levels(&self, vdd: f64) -> Vec<(String, f64)> {
         let level = |w: &SourceWaveform| w.value_at(0.0);
@@ -439,6 +582,23 @@ mod tests {
         let out = latch().simulate_store([true], [true]).expect("store");
         assert_eq!(out.switch_count, 0);
         assert_eq!(out.latency, Time::ZERO);
+    }
+
+    #[test]
+    fn session_reuse_is_deterministic() {
+        let l = latch();
+        let first = l.simulate_restore([true]).expect("first restore");
+        // Interleave a store (which flips the MTJs and dirties the
+        // session workspace) before repeating the identical restore.
+        let _ = l.simulate_store([false], [true]).expect("store");
+        let again = l.simulate_restore([true]).expect("second restore");
+        assert_eq!(first, again);
+        let stats = l.solver_stats();
+        assert!(stats.newton_iterations > 0);
+        assert!(stats.accepted_steps > 0);
+        // A fresh latch must agree with the reused session.
+        let fresh = latch().simulate_restore([true]).expect("fresh restore");
+        assert_eq!(first, fresh);
     }
 
     #[test]

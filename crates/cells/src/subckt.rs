@@ -90,7 +90,7 @@ pub fn add_tristate_inverter(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use spice::{SourceWaveform, analysis};
+    use spice::{analysis, SourceWaveform};
     use units::Voltage;
 
     fn rails(ckt: &mut Circuit) -> (NodeId, NodeId) {

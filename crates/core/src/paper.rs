@@ -45,12 +45,36 @@ pub struct Table2 {
 #[must_use]
 pub fn table2() -> Table2 {
     Table2 {
-        standard_read_energy_fj: Table2Triple { worst: 6.348, typical: 5.650, best: 4.916 },
-        proposed_read_energy_fj: Table2Triple { worst: 4.799, typical: 4.587, best: 4.327 },
-        standard_read_delay_ps: Table2Triple { worst: 310.0, typical: 187.0, best: 127.0 },
-        proposed_read_delay_ps: Table2Triple { worst: 600.0, typical: 360.0, best: 228.0 },
-        standard_leakage_pw: Table2Triple { worst: 4998.0, typical: 1565.0, best: 424.0 },
-        proposed_leakage_pw: Table2Triple { worst: 4960.0, typical: 1528.0, best: 394.0 },
+        standard_read_energy_fj: Table2Triple {
+            worst: 6.348,
+            typical: 5.650,
+            best: 4.916,
+        },
+        proposed_read_energy_fj: Table2Triple {
+            worst: 4.799,
+            typical: 4.587,
+            best: 4.327,
+        },
+        standard_read_delay_ps: Table2Triple {
+            worst: 310.0,
+            typical: 187.0,
+            best: 127.0,
+        },
+        proposed_read_delay_ps: Table2Triple {
+            worst: 600.0,
+            typical: 360.0,
+            best: 228.0,
+        },
+        standard_leakage_pw: Table2Triple {
+            worst: 4998.0,
+            typical: 1565.0,
+            best: 424.0,
+        },
+        proposed_leakage_pw: Table2Triple {
+            worst: 4960.0,
+            typical: 1528.0,
+            best: 394.0,
+        },
         standard_transistors: 22,
         proposed_transistors: 16,
         standard_area_um2: 5.635,
@@ -105,19 +129,149 @@ pub struct Table3Row {
 #[must_use]
 pub fn table3() -> Vec<Table3Row> {
     vec![
-        Table3Row { name: "s344", total_ffs: 15, merged_pairs: 5, baseline_area_um2: 42.255, baseline_energy_fj: 42.375, merged_area_um2: 32.565, merged_energy_fj: 37.06, area_improvement: 0.2293, energy_improvement: 0.1254 },
-        Table3Row { name: "s838", total_ffs: 32, merged_pairs: 12, baseline_area_um2: 90.144, baseline_energy_fj: 90.4, merged_area_um2: 66.888, merged_energy_fj: 77.644, area_improvement: 0.2580, energy_improvement: 0.1411 },
-        Table3Row { name: "s1423", total_ffs: 74, merged_pairs: 23, baseline_area_um2: 208.458, baseline_energy_fj: 209.05, merged_area_um2: 163.884, merged_energy_fj: 184.601, area_improvement: 0.2138, energy_improvement: 0.1170 },
-        Table3Row { name: "s5378", total_ffs: 176, merged_pairs: 64, baseline_area_um2: 495.792, baseline_energy_fj: 497.2, merged_area_um2: 371.76, merged_energy_fj: 429.168, area_improvement: 0.2502, energy_improvement: 0.1368 },
-        Table3Row { name: "s13207", total_ffs: 627, merged_pairs: 259, baseline_area_um2: 1766.259, baseline_energy_fj: 1771.275, merged_area_um2: 1264.317, merged_energy_fj: 1495.958, area_improvement: 0.2842, energy_improvement: 0.1554 },
-        Table3Row { name: "s38584", total_ffs: 1424, merged_pairs: 473, baseline_area_um2: 4011.408, baseline_energy_fj: 4022.8, merged_area_um2: 3094.734, merged_energy_fj: 3520.001, area_improvement: 0.2285, energy_improvement: 0.1250 },
-        Table3Row { name: "s35932", total_ffs: 1728, merged_pairs: 472, baseline_area_um2: 4867.776, baseline_energy_fj: 4881.6, merged_area_um2: 3953.04, merged_energy_fj: 4379.864, area_improvement: 0.1879, energy_improvement: 0.1028 },
-        Table3Row { name: "b14", total_ffs: 215, merged_pairs: 90, baseline_area_um2: 605.655, baseline_energy_fj: 607.375, merged_area_um2: 431.235, merged_energy_fj: 511.705, area_improvement: 0.2880, energy_improvement: 0.1575 },
-        Table3Row { name: "b15", total_ffs: 416, merged_pairs: 189, baseline_area_um2: 1171.872, baseline_energy_fj: 1175.2, merged_area_um2: 805.59, merged_energy_fj: 974.293, area_improvement: 0.3126, energy_improvement: 0.1710 },
-        Table3Row { name: "b17", total_ffs: 1317, merged_pairs: 542, baseline_area_um2: 3709.989, baseline_energy_fj: 3720.525, merged_area_um2: 2659.593, merged_energy_fj: 3144.379, area_improvement: 0.2831, energy_improvement: 0.1549 },
-        Table3Row { name: "b18", total_ffs: 3020, merged_pairs: 1260, baseline_area_um2: 8507.34, baseline_energy_fj: 8531.5, merged_area_um2: 6065.46, merged_energy_fj: 7192.12, area_improvement: 0.2870, energy_improvement: 0.1570 },
-        Table3Row { name: "b19", total_ffs: 6042, merged_pairs: 2530, baseline_area_um2: 17020.314, baseline_energy_fj: 17068.65, merged_area_um2: 12117.174, merged_energy_fj: 14379.26, area_improvement: 0.2881, energy_improvement: 0.1576 },
-        Table3Row { name: "or1200", total_ffs: 2887, merged_pairs: 1269, baseline_area_um2: 8132.679, baseline_energy_fj: 8155.775, merged_area_um2: 5673.357, merged_energy_fj: 6806.828, area_improvement: 0.3024, energy_improvement: 0.1654 },
+        Table3Row {
+            name: "s344",
+            total_ffs: 15,
+            merged_pairs: 5,
+            baseline_area_um2: 42.255,
+            baseline_energy_fj: 42.375,
+            merged_area_um2: 32.565,
+            merged_energy_fj: 37.06,
+            area_improvement: 0.2293,
+            energy_improvement: 0.1254,
+        },
+        Table3Row {
+            name: "s838",
+            total_ffs: 32,
+            merged_pairs: 12,
+            baseline_area_um2: 90.144,
+            baseline_energy_fj: 90.4,
+            merged_area_um2: 66.888,
+            merged_energy_fj: 77.644,
+            area_improvement: 0.2580,
+            energy_improvement: 0.1411,
+        },
+        Table3Row {
+            name: "s1423",
+            total_ffs: 74,
+            merged_pairs: 23,
+            baseline_area_um2: 208.458,
+            baseline_energy_fj: 209.05,
+            merged_area_um2: 163.884,
+            merged_energy_fj: 184.601,
+            area_improvement: 0.2138,
+            energy_improvement: 0.1170,
+        },
+        Table3Row {
+            name: "s5378",
+            total_ffs: 176,
+            merged_pairs: 64,
+            baseline_area_um2: 495.792,
+            baseline_energy_fj: 497.2,
+            merged_area_um2: 371.76,
+            merged_energy_fj: 429.168,
+            area_improvement: 0.2502,
+            energy_improvement: 0.1368,
+        },
+        Table3Row {
+            name: "s13207",
+            total_ffs: 627,
+            merged_pairs: 259,
+            baseline_area_um2: 1766.259,
+            baseline_energy_fj: 1771.275,
+            merged_area_um2: 1264.317,
+            merged_energy_fj: 1495.958,
+            area_improvement: 0.2842,
+            energy_improvement: 0.1554,
+        },
+        Table3Row {
+            name: "s38584",
+            total_ffs: 1424,
+            merged_pairs: 473,
+            baseline_area_um2: 4011.408,
+            baseline_energy_fj: 4022.8,
+            merged_area_um2: 3094.734,
+            merged_energy_fj: 3520.001,
+            area_improvement: 0.2285,
+            energy_improvement: 0.1250,
+        },
+        Table3Row {
+            name: "s35932",
+            total_ffs: 1728,
+            merged_pairs: 472,
+            baseline_area_um2: 4867.776,
+            baseline_energy_fj: 4881.6,
+            merged_area_um2: 3953.04,
+            merged_energy_fj: 4379.864,
+            area_improvement: 0.1879,
+            energy_improvement: 0.1028,
+        },
+        Table3Row {
+            name: "b14",
+            total_ffs: 215,
+            merged_pairs: 90,
+            baseline_area_um2: 605.655,
+            baseline_energy_fj: 607.375,
+            merged_area_um2: 431.235,
+            merged_energy_fj: 511.705,
+            area_improvement: 0.2880,
+            energy_improvement: 0.1575,
+        },
+        Table3Row {
+            name: "b15",
+            total_ffs: 416,
+            merged_pairs: 189,
+            baseline_area_um2: 1171.872,
+            baseline_energy_fj: 1175.2,
+            merged_area_um2: 805.59,
+            merged_energy_fj: 974.293,
+            area_improvement: 0.3126,
+            energy_improvement: 0.1710,
+        },
+        Table3Row {
+            name: "b17",
+            total_ffs: 1317,
+            merged_pairs: 542,
+            baseline_area_um2: 3709.989,
+            baseline_energy_fj: 3720.525,
+            merged_area_um2: 2659.593,
+            merged_energy_fj: 3144.379,
+            area_improvement: 0.2831,
+            energy_improvement: 0.1549,
+        },
+        Table3Row {
+            name: "b18",
+            total_ffs: 3020,
+            merged_pairs: 1260,
+            baseline_area_um2: 8507.34,
+            baseline_energy_fj: 8531.5,
+            merged_area_um2: 6065.46,
+            merged_energy_fj: 7192.12,
+            area_improvement: 0.2870,
+            energy_improvement: 0.1570,
+        },
+        Table3Row {
+            name: "b19",
+            total_ffs: 6042,
+            merged_pairs: 2530,
+            baseline_area_um2: 17020.314,
+            baseline_energy_fj: 17068.65,
+            merged_area_um2: 12117.174,
+            merged_energy_fj: 14379.26,
+            area_improvement: 0.2881,
+            energy_improvement: 0.1576,
+        },
+        Table3Row {
+            name: "or1200",
+            total_ffs: 2887,
+            merged_pairs: 1269,
+            baseline_area_um2: 8132.679,
+            baseline_energy_fj: 8155.775,
+            merged_area_um2: 5673.357,
+            merged_energy_fj: 6806.828,
+            area_improvement: 0.3024,
+            energy_improvement: 0.1654,
+        },
     ]
 }
 
@@ -184,8 +338,16 @@ mod tests {
             let base_e = row.total_ffs as f64 * c.energy_1bit.femto_joules();
             let merged_e = row.merged_pairs as f64 * c.energy_2bit.femto_joules()
                 + singles as f64 * c.energy_1bit.femto_joules();
-            assert!((base_e - row.baseline_energy_fj).abs() < 0.05, "{}", row.name);
-            assert!((merged_e - row.merged_energy_fj).abs() < 0.05, "{}", row.name);
+            assert!(
+                (base_e - row.baseline_energy_fj).abs() < 0.05,
+                "{}",
+                row.name
+            );
+            assert!(
+                (merged_e - row.merged_energy_fj).abs() < 0.05,
+                "{}",
+                row.name
+            );
         }
     }
 
@@ -194,7 +356,11 @@ mod tests {
         for row in table3() {
             let area_impr = 1.0 - row.merged_area_um2 / row.baseline_area_um2;
             let energy_impr = 1.0 - row.merged_energy_fj / row.baseline_energy_fj;
-            assert!((area_impr - row.area_improvement).abs() < 0.001, "{}", row.name);
+            assert!(
+                (area_impr - row.area_improvement).abs() < 0.001,
+                "{}",
+                row.name
+            );
             assert!(
                 (energy_impr - row.energy_improvement).abs() < 0.001,
                 "{}",
@@ -212,7 +378,10 @@ mod tests {
             rows.iter().map(|r| r.energy_improvement).sum::<f64>() / rows.len() as f64;
         // "26 % and 14 % in average".
         assert!((avg_area - 0.26).abs() < 0.01, "avg area = {avg_area}");
-        assert!((avg_energy - 0.14).abs() < 0.01, "avg energy = {avg_energy}");
+        assert!(
+            (avg_energy - 0.14).abs() < 0.01,
+            "avg energy = {avg_energy}"
+        );
     }
 
     #[test]

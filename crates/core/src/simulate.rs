@@ -94,7 +94,9 @@ impl RegisterFileSim {
     ) -> Self {
         let bits = merged_pairs * 2 + single_ffs;
         Self {
-            pairs: (0..merged_pairs).map(|_| MultiBitNvFlipFlop::new()).collect(),
+            pairs: (0..merged_pairs)
+                .map(|_| MultiBitNvFlipFlop::new())
+                .collect(),
             singles: (0..single_ffs).map(|_| NvFlipFlop::new()).collect(),
             costs,
             leakage_per_bit,
@@ -254,13 +256,9 @@ mod tests {
         let expect_leak = Power::from_pico_watts(1565.0 / 2.0) * 20.0 * (active * 4.0);
         assert!((ledger.leakage / expect_leak - 1.0).abs() < 1e-9);
         // Store: 20 bits × 104 fJ × 4 cycles.
-        assert!(
-            (ledger.store.femto_joules() - 20.0 * 104.0 * 4.0).abs() < 1e-6
-        );
+        assert!((ledger.store.femto_joules() - 20.0 * 104.0 * 4.0).abs() < 1e-6);
         // Restore: 10 shared components × 4.587 fJ × 4 cycles.
-        assert!(
-            (ledger.restore.femto_joules() - 10.0 * 4.587 * 4.0).abs() < 1e-6
-        );
+        assert!((ledger.restore.femto_joules() - 10.0 * 4.587 * 4.0).abs() < 1e-6);
         let expect_elapsed = (active + sleep) * 4.0;
         assert!((ledger.elapsed / expect_elapsed - 1.0).abs() < 1e-12);
         assert!(ledger.total() > Energy::ZERO);

@@ -4,7 +4,7 @@
 use core::fmt;
 
 use merge::{MergeOptions, Strategy};
-use netlist::{BenchmarkSpec, CellLibrary, benchmarks};
+use netlist::{benchmarks, BenchmarkSpec, CellLibrary};
 use place::placer::{self, PlacerOptions};
 use units::{Area, Energy};
 
@@ -146,8 +146,7 @@ pub fn roll_up(
         baseline_area: costs.area_1bit * total_ffs as f64,
         baseline_energy: costs.energy_1bit * total_ffs as f64,
         merged_area: costs.area_2bit * merged_pairs as f64 + costs.area_1bit * singles as f64,
-        merged_energy: costs.energy_2bit * merged_pairs as f64
-            + costs.energy_1bit * singles as f64,
+        merged_energy: costs.energy_2bit * merged_pairs as f64 + costs.energy_1bit * singles as f64,
     }
 }
 
@@ -184,9 +183,7 @@ pub fn table3(costs: &SystemCosts, mode: EvaluationMode) -> Vec<BenchmarkResult>
         .iter()
         .map(|&spec| match mode {
             EvaluationMode::Replay => evaluate_replay(spec, costs),
-            EvaluationMode::Measured { max_gates } => {
-                evaluate_measured(spec, costs, max_gates)
-            }
+            EvaluationMode::Measured { max_gates } => evaluate_measured(spec, costs, max_gates),
         })
         .collect()
 }
@@ -200,7 +197,10 @@ pub fn average_improvements(rows: &[BenchmarkResult]) -> (f64, f64) {
     }
     let n = rows.len() as f64;
     (
-        rows.iter().map(BenchmarkResult::area_improvement).sum::<f64>() / n,
+        rows.iter()
+            .map(BenchmarkResult::area_improvement)
+            .sum::<f64>()
+            / n,
         rows.iter()
             .map(BenchmarkResult::energy_improvement)
             .sum::<f64>()

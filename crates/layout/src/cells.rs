@@ -66,8 +66,7 @@ pub fn nv_component_rules(base: &DesignRules) -> DesignRules {
     let mut rules = *base;
     let cols = 5.0;
     let margin =
-        (PaperAreas::standard_width().micro_meters() - cols * base.poly_pitch.micro_meters())
-            / 2.0;
+        (PaperAreas::standard_width().micro_meters() - cols * base.poly_pitch.micro_meters()) / 2.0;
     rules.edge_margin = Length::from_micro_meters(margin);
     rules
 }
@@ -83,32 +82,129 @@ pub fn standard_1bit_spec(include_write_drivers: bool) -> CellSpec {
     let mut s = CellSpec::new("NVLATCH1");
     let t = &mut s.transistors;
     // Read path (11 devices — Table II's per-bit count).
-    t.push(TransistorSpec::new("PCA", Row::P, "pc_b", "vdd", "q", nm(400.0)));
-    t.push(TransistorSpec::new("PCB2", Row::P, "pc_b", "vdd", "qb", nm(400.0)));
-    t.push(TransistorSpec::new("P1", Row::P, "qb", "vdd", "q", nm(400.0)));
-    t.push(TransistorSpec::new("P2", Row::P, "q", "vdd", "qb", nm(400.0)));
-    t.push(TransistorSpec::new("T1.MP", Row::P, "sen_b", "sl", "w1", nm(240.0)));
-    t.push(TransistorSpec::new("T2.MP", Row::P, "sen_b", "sr", "w2", nm(240.0)));
-    t.push(TransistorSpec::new("N1", Row::N, "qb", "sl", "q", nm(360.0)));
-    t.push(TransistorSpec::new("N2", Row::N, "q", "sr", "qb", nm(360.0)));
-    t.push(TransistorSpec::new("T1.MN", Row::N, "sen", "sl", "w1", nm(240.0)));
-    t.push(TransistorSpec::new("T2.MN", Row::N, "sen", "sr", "w2", nm(240.0)));
-    t.push(TransistorSpec::new("NEN", Row::N, "sen", "gnd", "wm", nm(480.0)));
+    t.push(TransistorSpec::new(
+        "PCA",
+        Row::P,
+        "pc_b",
+        "vdd",
+        "q",
+        nm(400.0),
+    ));
+    t.push(TransistorSpec::new(
+        "PCB2",
+        Row::P,
+        "pc_b",
+        "vdd",
+        "qb",
+        nm(400.0),
+    ));
+    t.push(TransistorSpec::new(
+        "P1",
+        Row::P,
+        "qb",
+        "vdd",
+        "q",
+        nm(400.0),
+    ));
+    t.push(TransistorSpec::new(
+        "P2",
+        Row::P,
+        "q",
+        "vdd",
+        "qb",
+        nm(400.0),
+    ));
+    t.push(TransistorSpec::new(
+        "T1.MP",
+        Row::P,
+        "sen_b",
+        "sl",
+        "w1",
+        nm(240.0),
+    ));
+    t.push(TransistorSpec::new(
+        "T2.MP",
+        Row::P,
+        "sen_b",
+        "sr",
+        "w2",
+        nm(240.0),
+    ));
+    t.push(TransistorSpec::new(
+        "N1",
+        Row::N,
+        "qb",
+        "sl",
+        "q",
+        nm(360.0),
+    ));
+    t.push(TransistorSpec::new(
+        "N2",
+        Row::N,
+        "q",
+        "sr",
+        "qb",
+        nm(360.0),
+    ));
+    t.push(TransistorSpec::new(
+        "T1.MN",
+        Row::N,
+        "sen",
+        "sl",
+        "w1",
+        nm(240.0),
+    ));
+    t.push(TransistorSpec::new(
+        "T2.MN",
+        Row::N,
+        "sen",
+        "sr",
+        "w2",
+        nm(240.0),
+    ));
+    t.push(TransistorSpec::new(
+        "NEN",
+        Row::N,
+        "sen",
+        "gnd",
+        "wm",
+        nm(480.0),
+    ));
     if include_write_drivers {
         for (inv, input, out) in [("IA", "db", "w1"), ("IB", "d", "w2")] {
             let mid_p = format!("{inv}.mp");
             let mid_n = format!("{inv}.mn");
             t.push(TransistorSpec::new(
-                &format!("{inv}.MPI"), Row::P, input, "vdd", &mid_p, nm(600.0),
+                &format!("{inv}.MPI"),
+                Row::P,
+                input,
+                "vdd",
+                &mid_p,
+                nm(600.0),
             ));
             t.push(TransistorSpec::new(
-                &format!("{inv}.MPE"), Row::P, "wen_b", &mid_p, out, nm(600.0),
+                &format!("{inv}.MPE"),
+                Row::P,
+                "wen_b",
+                &mid_p,
+                out,
+                nm(600.0),
             ));
             t.push(TransistorSpec::new(
-                &format!("{inv}.MNE"), Row::N, "wen", &mid_n, out, nm(300.0),
+                &format!("{inv}.MNE"),
+                Row::N,
+                "wen",
+                &mid_n,
+                out,
+                nm(300.0),
             ));
             t.push(TransistorSpec::new(
-                &format!("{inv}.MNI"), Row::N, input, "gnd", &mid_n, nm(300.0),
+                &format!("{inv}.MNI"),
+                Row::N,
+                input,
+                "gnd",
+                &mid_n,
+                nm(300.0),
             ));
         }
     }
@@ -124,22 +220,134 @@ pub fn proposed_2bit_spec(include_write_drivers: bool) -> CellSpec {
     let mut s = CellSpec::new("NVLATCH2");
     let t = &mut s.transistors;
     // Read path (16 devices — Table II's 2-bit count).
-    t.push(TransistorSpec::new("PCVA", Row::P, "pcv_b", "vdd", "q", nm(400.0)));
-    t.push(TransistorSpec::new("PCVB2", Row::P, "pcv_b", "vdd", "qb", nm(400.0)));
-    t.push(TransistorSpec::new("P1", Row::P, "qb", "tl", "q", nm(400.0)));
-    t.push(TransistorSpec::new("P2", Row::P, "q", "tr", "qb", nm(400.0)));
-    t.push(TransistorSpec::new("P3", Row::P, "sel_b", "vdd", "mt", nm(480.0)));
-    t.push(TransistorSpec::new("P4", Row::P, "p4_b", "tr", "tl", nm(240.0)));
-    t.push(TransistorSpec::new("T1.MP", Row::P, "ren_b", "nl", "a3", nm(240.0)));
-    t.push(TransistorSpec::new("T2.MP", Row::P, "ren_b", "nr", "a4", nm(240.0)));
-    t.push(TransistorSpec::new("PCGA", Row::N, "pcg", "gnd", "q", nm(400.0)));
-    t.push(TransistorSpec::new("PCGB", Row::N, "pcg", "gnd", "qb", nm(400.0)));
-    t.push(TransistorSpec::new("N1", Row::N, "qb", "nl", "q", nm(360.0)));
-    t.push(TransistorSpec::new("N2", Row::N, "q", "nr", "qb", nm(360.0)));
-    t.push(TransistorSpec::new("N3", Row::N, "ren", "gnd", "m", nm(480.0)));
-    t.push(TransistorSpec::new("N4", Row::N, "n4", "nr", "nl", nm(240.0)));
-    t.push(TransistorSpec::new("T1.MN", Row::N, "ren", "nl", "a3", nm(240.0)));
-    t.push(TransistorSpec::new("T2.MN", Row::N, "ren", "nr", "a4", nm(240.0)));
+    t.push(TransistorSpec::new(
+        "PCVA",
+        Row::P,
+        "pcv_b",
+        "vdd",
+        "q",
+        nm(400.0),
+    ));
+    t.push(TransistorSpec::new(
+        "PCVB2",
+        Row::P,
+        "pcv_b",
+        "vdd",
+        "qb",
+        nm(400.0),
+    ));
+    t.push(TransistorSpec::new(
+        "P1",
+        Row::P,
+        "qb",
+        "tl",
+        "q",
+        nm(400.0),
+    ));
+    t.push(TransistorSpec::new(
+        "P2",
+        Row::P,
+        "q",
+        "tr",
+        "qb",
+        nm(400.0),
+    ));
+    t.push(TransistorSpec::new(
+        "P3",
+        Row::P,
+        "sel_b",
+        "vdd",
+        "mt",
+        nm(480.0),
+    ));
+    t.push(TransistorSpec::new(
+        "P4",
+        Row::P,
+        "p4_b",
+        "tr",
+        "tl",
+        nm(240.0),
+    ));
+    t.push(TransistorSpec::new(
+        "T1.MP",
+        Row::P,
+        "ren_b",
+        "nl",
+        "a3",
+        nm(240.0),
+    ));
+    t.push(TransistorSpec::new(
+        "T2.MP",
+        Row::P,
+        "ren_b",
+        "nr",
+        "a4",
+        nm(240.0),
+    ));
+    t.push(TransistorSpec::new(
+        "PCGA",
+        Row::N,
+        "pcg",
+        "gnd",
+        "q",
+        nm(400.0),
+    ));
+    t.push(TransistorSpec::new(
+        "PCGB",
+        Row::N,
+        "pcg",
+        "gnd",
+        "qb",
+        nm(400.0),
+    ));
+    t.push(TransistorSpec::new(
+        "N1",
+        Row::N,
+        "qb",
+        "nl",
+        "q",
+        nm(360.0),
+    ));
+    t.push(TransistorSpec::new(
+        "N2",
+        Row::N,
+        "q",
+        "nr",
+        "qb",
+        nm(360.0),
+    ));
+    t.push(TransistorSpec::new(
+        "N3",
+        Row::N,
+        "ren",
+        "gnd",
+        "m",
+        nm(480.0),
+    ));
+    t.push(TransistorSpec::new(
+        "N4",
+        Row::N,
+        "n4",
+        "nr",
+        "nl",
+        nm(240.0),
+    ));
+    t.push(TransistorSpec::new(
+        "T1.MN",
+        Row::N,
+        "ren",
+        "nl",
+        "a3",
+        nm(240.0),
+    ));
+    t.push(TransistorSpec::new(
+        "T2.MN",
+        Row::N,
+        "ren",
+        "nr",
+        "a4",
+        nm(240.0),
+    ));
     if include_write_drivers {
         for (inv, input, out) in [
             ("I1", "d1", "tl"),
@@ -150,16 +358,36 @@ pub fn proposed_2bit_spec(include_write_drivers: bool) -> CellSpec {
             let mid_p = format!("{inv}.mp");
             let mid_n = format!("{inv}.mn");
             t.push(TransistorSpec::new(
-                &format!("{inv}.MPI"), Row::P, input, "vdd", &mid_p, nm(600.0),
+                &format!("{inv}.MPI"),
+                Row::P,
+                input,
+                "vdd",
+                &mid_p,
+                nm(600.0),
             ));
             t.push(TransistorSpec::new(
-                &format!("{inv}.MPE"), Row::P, "wen_b", &mid_p, out, nm(600.0),
+                &format!("{inv}.MPE"),
+                Row::P,
+                "wen_b",
+                &mid_p,
+                out,
+                nm(600.0),
             ));
             t.push(TransistorSpec::new(
-                &format!("{inv}.MNE"), Row::N, "wen", &mid_n, out, nm(300.0),
+                &format!("{inv}.MNE"),
+                Row::N,
+                "wen",
+                &mid_n,
+                out,
+                nm(300.0),
             ));
             t.push(TransistorSpec::new(
-                &format!("{inv}.MNI"), Row::N, input, "gnd", &mid_n, nm(300.0),
+                &format!("{inv}.MNI"),
+                Row::N,
+                input,
+                "gnd",
+                &mid_n,
+                nm(300.0),
             ));
         }
     }
@@ -227,9 +455,7 @@ mod tests {
     fn merge_threshold_matches_the_paper() {
         let t = merge_threshold(&DesignRules::n40());
         assert!((t.micro_meters() - 3.35).abs() < 1e-9, "{t}");
-        assert!(
-            (PaperAreas::merge_threshold().micro_meters() - 3.35).abs() < 1e-12
-        );
+        assert!((PaperAreas::merge_threshold().micro_meters() - 3.35).abs() < 1e-12);
     }
 
     #[test]

@@ -9,7 +9,6 @@
 //! penalty between chains, minus folded pairs of narrow devices that
 //! vertically share a column.
 
-
 use crate::rules::DesignRules;
 use crate::spec::TransistorSpec;
 

@@ -3,7 +3,7 @@
 
 use units::{Area, Length};
 
-use crate::chain::{RowPlan, chain_row};
+use crate::chain::{chain_row, RowPlan};
 use crate::rules::DesignRules;
 use crate::spec::{CellSpec, Row};
 
@@ -89,12 +89,36 @@ impl CellLayout {
         let rail = rules.track_pitch.micro_meters();
 
         let mut rects = vec![
-            Rect { layer: Layer::Outline, x: 0.0, y: 0.0, w: wu, h: hu },
+            Rect {
+                layer: Layer::Outline,
+                x: 0.0,
+                y: 0.0,
+                w: wu,
+                h: hu,
+            },
             // Rails: VDD on top, GND on bottom, one track each.
-            Rect { layer: Layer::Metal1, x: 0.0, y: hu - rail, w: wu, h: rail },
-            Rect { layer: Layer::Metal1, x: 0.0, y: 0.0, w: wu, h: rail },
+            Rect {
+                layer: Layer::Metal1,
+                x: 0.0,
+                y: hu - rail,
+                w: wu,
+                h: rail,
+            },
+            Rect {
+                layer: Layer::Metal1,
+                x: 0.0,
+                y: 0.0,
+                w: wu,
+                h: rail,
+            },
             // N-well covers the upper half.
-            Rect { layer: Layer::Nwell, x: 0.0, y: hu * 0.5, w: wu, h: hu * 0.5 },
+            Rect {
+                layer: Layer::Nwell,
+                x: 0.0,
+                y: hu * 0.5,
+                w: wu,
+                h: hu * 0.5,
+            },
         ];
 
         // Diffusion strips sized to the occupied columns of each row.
@@ -314,8 +338,7 @@ mod tests {
     fn area_is_width_times_height() {
         let layout = CellLayout::synthesize(&inverter_spec(), &DesignRules::n40());
         let a = layout.area().square_micro_meters();
-        let expect =
-            layout.width().micro_meters() * layout.height().micro_meters();
+        let expect = layout.width().micro_meters() * layout.height().micro_meters();
         assert!((a - expect).abs() < 1e-12);
     }
 
@@ -323,8 +346,7 @@ mod tests {
     fn mtj_pads_render_without_overlap() {
         let mut spec = inverter_spec();
         for k in 0..4 {
-            spec.mtjs
-                .push(MtjSpec::new(&format!("X{k}"), "a", "b"));
+            spec.mtjs.push(MtjSpec::new(&format!("X{k}"), "a", "b"));
         }
         // Wider cell so four pads fit.
         for k in 0..6 {

@@ -197,7 +197,11 @@ mod tests {
     #[test]
     fn pins_land_inside_the_cell() {
         let layout = cells::proposed_2bit_layout(&DesignRules::n40());
-        let pins = [LefPin::input("D0"), LefPin::input("D1"), LefPin::output("Q0")];
+        let pins = [
+            LefPin::input("D0"),
+            LefPin::input("D1"),
+            LefPin::output("Q0"),
+        ];
         let text = write_macro(&layout, "CoreSite", &pins);
         let w = layout.width().micro_meters();
         for line in text.lines().filter(|l| l.trim_start().starts_with("RECT")) {

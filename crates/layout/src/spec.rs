@@ -31,14 +31,7 @@ pub struct TransistorSpec {
 impl TransistorSpec {
     /// Convenience constructor.
     #[must_use]
-    pub fn new(
-        name: &str,
-        row: Row,
-        gate: &str,
-        source: &str,
-        drain: &str,
-        width: Length,
-    ) -> Self {
+    pub fn new(name: &str, row: Row, gate: &str, source: &str, drain: &str, width: Length) -> Self {
         Self {
             name: name.to_owned(),
             row,

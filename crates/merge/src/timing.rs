@@ -66,8 +66,8 @@ impl TimingModel {
         let wire = pair_distance.meters() / 2.0;
         let r_wire = self.wire_res_per_m * wire;
         let c_wire = self.wire_cap_per_m * wire;
-        let seconds = self.driver_res * (c_wire + self.load_cap)
-            + r_wire * (c_wire / 2.0 + self.load_cap);
+        let seconds =
+            self.driver_res * (c_wire + self.load_cap) + r_wire * (c_wire / 2.0 + self.load_cap);
         Time::from_seconds(seconds)
     }
 
@@ -95,9 +95,7 @@ impl TimingModel {
         plan.pairs()
             .iter()
             .enumerate()
-            .filter(|(_, p)| {
-                self.added_delay(Length::from_micro_meters(p.distance)) > self.budget
-            })
+            .filter(|(_, p)| self.added_delay(Length::from_micro_meters(p.distance)) > self.budget)
             .map(|(i, _)| i)
             .collect()
     }

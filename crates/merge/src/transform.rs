@@ -150,8 +150,7 @@ pub fn legalize(
     let mut max_move = 0.0f64;
 
     // Snap NV components to the site/row grid.
-    let mut by_row: std::collections::HashMap<usize, Vec<usize>> =
-        std::collections::HashMap::new();
+    let mut by_row: std::collections::HashMap<usize, Vec<usize>> = std::collections::HashMap::new();
     for (idx, comp) in legal.components.iter_mut().enumerate() {
         if comp.nv_bits == 0 {
             continue;
@@ -201,7 +200,7 @@ pub fn legalize(
 mod tests {
     use super::*;
     use crate::MergeOptions;
-    use netlist::{CellLibrary, benchmarks};
+    use netlist::{benchmarks, CellLibrary};
     use place::placer::{self, PlacerOptions};
 
     fn merged_s344() -> (PlacedDesign, MergedDesign) {
@@ -252,8 +251,7 @@ mod tests {
         assert_eq!(legal.nv_bits(), merged.nv_bits());
 
         let row_h = placed.floorplan().row_height().micro_meters();
-        let mut by_row: std::collections::HashMap<i64, Vec<f64>> =
-            std::collections::HashMap::new();
+        let mut by_row: std::collections::HashMap<i64, Vec<f64>> = std::collections::HashMap::new();
         for comp in legal.components().iter().filter(|c| c.nv_bits > 0) {
             // On the row grid.
             let row = comp.y / row_h;

@@ -236,8 +236,8 @@ impl Mtj {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     fn device(initial: MtjState) -> (MtjParams, Mtj) {
         let params = MtjParams::date2018();
@@ -284,7 +284,10 @@ mod tests {
         let (params, mut mtj) = device(MtjState::AntiParallel);
         // Positive current drives toward AP, which is already the state.
         for _ in 0..1000 {
-            assert!(!mtj.advance(params.nominal_write_current(), Time::from_pico_seconds(10.0)));
+            assert!(!mtj.advance(
+                params.nominal_write_current(),
+                Time::from_pico_seconds(10.0)
+            ));
         }
         assert_eq!(mtj.state(), MtjState::AntiParallel);
     }
@@ -371,7 +374,10 @@ mod tests {
     fn set_state_discards_progress() {
         let (params, mut mtj) = device(MtjState::Parallel);
         for _ in 0..50 {
-            mtj.advance(params.nominal_write_current(), Time::from_pico_seconds(10.0));
+            mtj.advance(
+                params.nominal_write_current(),
+                Time::from_pico_seconds(10.0),
+            );
         }
         mtj.set_state(MtjState::Parallel);
         assert_eq!(mtj.switching_progress(), 0.0);

@@ -6,8 +6,8 @@
 //! summarises the draws (mean, standard deviation, extremes, yield against
 //! a predicate).
 
-use rand::SeedableRng;
 use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 use crate::params::MtjParams;
 use crate::variation::{MtjSample, VariationModel};
@@ -157,9 +157,15 @@ mod tests {
     fn run_is_deterministic_per_seed() {
         let nominal = MtjParams::date2018();
         let v = VariationModel::default();
-        let a = run(&nominal, &v, 64, 11, |s| s.params.resistance_parallel().ohms());
-        let b = run(&nominal, &v, 64, 11, |s| s.params.resistance_parallel().ohms());
-        let c = run(&nominal, &v, 64, 12, |s| s.params.resistance_parallel().ohms());
+        let a = run(&nominal, &v, 64, 11, |s| {
+            s.params.resistance_parallel().ohms()
+        });
+        let b = run(&nominal, &v, 64, 11, |s| {
+            s.params.resistance_parallel().ohms()
+        });
+        let c = run(&nominal, &v, 64, 12, |s| {
+            s.params.resistance_parallel().ohms()
+        });
         assert_eq!(a, b);
         assert_ne!(a, c);
     }

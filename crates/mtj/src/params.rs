@@ -374,7 +374,10 @@ impl MtjParamsBuilder {
             p.thermal_stability > 0.0,
             "thermal stability must be positive",
         )?;
-        check(p.attempt_time.seconds() > 0.0, "attempt time must be positive")?;
+        check(
+            p.attempt_time.seconds() > 0.0,
+            "attempt time must be positive",
+        )?;
         check(
             p.temperature > Temperature::ABSOLUTE_ZERO,
             "temperature must exceed absolute zero",
@@ -462,7 +465,9 @@ mod tests {
     fn perturbed_scales_the_right_parameters() {
         let p = MtjParams::date2018();
         let q = p.perturbed(1.1, 0.9, 1.2);
-        assert!((q.resistance_parallel().ohms() / p.resistance_parallel().ohms() - 1.1).abs() < 1e-12);
+        assert!(
+            (q.resistance_parallel().ohms() / p.resistance_parallel().ohms() - 1.1).abs() < 1e-12
+        );
         assert!((q.tmr_zero_bias() / p.tmr_zero_bias() - 0.9).abs() < 1e-12);
         assert!((q.critical_current().amps() / p.critical_current().amps() - 1.2).abs() < 1e-12);
         // Geometry untouched.

@@ -99,8 +99,7 @@ impl SwitchingModel {
             write_time.seconds() > 0.0,
             "write time must be positive, got {write_time}"
         );
-        let overdrive =
-            params.nominal_write_current() / params.critical_current() - 1.0;
+        let overdrive = params.nominal_write_current() / params.critical_current() - 1.0;
         Self {
             critical_current: params.critical_current(),
             attempt_time: params.attempt_time(),

@@ -165,8 +165,7 @@ mod tests {
     #[test]
     fn extreme_excursions_stay_physical() {
         let p = nominal();
-        let extreme =
-            ThermalModel::default().at_temperature(&p, Temperature::from_celsius(900.0));
+        let extreme = ThermalModel::default().at_temperature(&p, Temperature::from_celsius(900.0));
         assert!(extreme.tmr_zero_bias() > 0.0);
         assert!(extreme.critical_current().amps() > 0.0);
         assert!(extreme.thermal_stability() > 0.0);

@@ -116,8 +116,8 @@ pub fn sweep(model: &SwitchingModel, current: Current, pulses: &[Time]) -> Vec<W
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     fn setup() -> (MtjParams, SwitchingModel) {
         let p = MtjParams::date2018();
@@ -186,7 +186,9 @@ mod tests {
     #[test]
     fn sweep_is_monotone_decreasing() {
         let (p, m) = setup();
-        let pulses: Vec<Time> = (1..=8).map(|k| Time::from_nano_seconds(f64::from(k))).collect();
+        let pulses: Vec<Time> = (1..=8)
+            .map(|k| Time::from_nano_seconds(f64::from(k)))
+            .collect();
         let points = sweep(&m, p.nominal_write_current(), &pulses);
         assert_eq!(points.len(), 8);
         for pair in points.windows(2) {

@@ -49,19 +49,97 @@ pub struct Benchmark;
 impl Benchmark {
     /// All benchmarks in the paper's row order.
     pub const ALL: [BenchmarkSpec; 13] = [
-        BenchmarkSpec { name: "s344", suite: Suite::Iscas89, flip_flops: 15, gates: 160, paper_merged_pairs: 5 },
-        BenchmarkSpec { name: "s838", suite: Suite::Iscas89, flip_flops: 32, gates: 446, paper_merged_pairs: 12 },
-        BenchmarkSpec { name: "s1423", suite: Suite::Iscas89, flip_flops: 74, gates: 657, paper_merged_pairs: 23 },
-        BenchmarkSpec { name: "s5378", suite: Suite::Iscas89, flip_flops: 176, gates: 2779, paper_merged_pairs: 64 },
-        BenchmarkSpec { name: "s13207", suite: Suite::Iscas89, flip_flops: 627, gates: 7951, paper_merged_pairs: 259 },
-        BenchmarkSpec { name: "s38584", suite: Suite::Iscas89, flip_flops: 1424, gates: 19253, paper_merged_pairs: 473 },
-        BenchmarkSpec { name: "s35932", suite: Suite::Iscas89, flip_flops: 1728, gates: 16065, paper_merged_pairs: 472 },
-        BenchmarkSpec { name: "b14", suite: Suite::Itc99, flip_flops: 215, gates: 9767, paper_merged_pairs: 90 },
-        BenchmarkSpec { name: "b15", suite: Suite::Itc99, flip_flops: 416, gates: 8367, paper_merged_pairs: 189 },
-        BenchmarkSpec { name: "b17", suite: Suite::Itc99, flip_flops: 1317, gates: 30777, paper_merged_pairs: 542 },
-        BenchmarkSpec { name: "b18", suite: Suite::Itc99, flip_flops: 3020, gates: 111_241, paper_merged_pairs: 1260 },
-        BenchmarkSpec { name: "b19", suite: Suite::Itc99, flip_flops: 6042, gates: 224_624, paper_merged_pairs: 2530 },
-        BenchmarkSpec { name: "or1200", suite: Suite::OpenRisc, flip_flops: 2887, gates: 40_000, paper_merged_pairs: 1269 },
+        BenchmarkSpec {
+            name: "s344",
+            suite: Suite::Iscas89,
+            flip_flops: 15,
+            gates: 160,
+            paper_merged_pairs: 5,
+        },
+        BenchmarkSpec {
+            name: "s838",
+            suite: Suite::Iscas89,
+            flip_flops: 32,
+            gates: 446,
+            paper_merged_pairs: 12,
+        },
+        BenchmarkSpec {
+            name: "s1423",
+            suite: Suite::Iscas89,
+            flip_flops: 74,
+            gates: 657,
+            paper_merged_pairs: 23,
+        },
+        BenchmarkSpec {
+            name: "s5378",
+            suite: Suite::Iscas89,
+            flip_flops: 176,
+            gates: 2779,
+            paper_merged_pairs: 64,
+        },
+        BenchmarkSpec {
+            name: "s13207",
+            suite: Suite::Iscas89,
+            flip_flops: 627,
+            gates: 7951,
+            paper_merged_pairs: 259,
+        },
+        BenchmarkSpec {
+            name: "s38584",
+            suite: Suite::Iscas89,
+            flip_flops: 1424,
+            gates: 19253,
+            paper_merged_pairs: 473,
+        },
+        BenchmarkSpec {
+            name: "s35932",
+            suite: Suite::Iscas89,
+            flip_flops: 1728,
+            gates: 16065,
+            paper_merged_pairs: 472,
+        },
+        BenchmarkSpec {
+            name: "b14",
+            suite: Suite::Itc99,
+            flip_flops: 215,
+            gates: 9767,
+            paper_merged_pairs: 90,
+        },
+        BenchmarkSpec {
+            name: "b15",
+            suite: Suite::Itc99,
+            flip_flops: 416,
+            gates: 8367,
+            paper_merged_pairs: 189,
+        },
+        BenchmarkSpec {
+            name: "b17",
+            suite: Suite::Itc99,
+            flip_flops: 1317,
+            gates: 30777,
+            paper_merged_pairs: 542,
+        },
+        BenchmarkSpec {
+            name: "b18",
+            suite: Suite::Itc99,
+            flip_flops: 3020,
+            gates: 111_241,
+            paper_merged_pairs: 1260,
+        },
+        BenchmarkSpec {
+            name: "b19",
+            suite: Suite::Itc99,
+            flip_flops: 6042,
+            gates: 224_624,
+            paper_merged_pairs: 2530,
+        },
+        BenchmarkSpec {
+            name: "or1200",
+            suite: Suite::OpenRisc,
+            flip_flops: 2887,
+            gates: 40_000,
+            paper_merged_pairs: 1269,
+        },
     ];
 }
 
@@ -163,13 +241,49 @@ pub fn generate_scaled(spec: BenchmarkSpec, max_gates: usize) -> Netlist {
         gate_budget -= 1;
     }
 
-    // Wire and instantiate: inputs drawn with Rent-style locality.
+    // Wire and instantiate: inputs drawn with Rent-style locality. The
+    // combinational part must stay acyclic (as in any mapped synchronous
+    // design), so a gate may only source primary inputs, flip-flop
+    // outputs (registered, so no combinational path), or gates wired
+    // before it; flip-flop D-inputs may come from anywhere. `wired`
+    // mirrors `module_outputs` but grows as wiring proceeds.
+    let mut wired: Vec<Vec<NetId>> = (0..module_count)
+        .map(|m| {
+            module_outputs[m]
+                .iter()
+                .copied()
+                .take(ff_per_module[m])
+                .collect()
+        })
+        .collect();
+    let registered: Vec<NetId> = input_nets
+        .iter()
+        .copied()
+        .chain(wired.iter().flatten().copied())
+        .collect();
+    let mut wired_global = registered.clone();
     for (k, (module, kind, out)) in pending.iter().enumerate() {
         let inputs: Vec<NetId> = (0..kind.input_count())
-            .map(|_| pick_source(&mut rng, *module, &module_outputs, &all_outputs, &input_nets))
+            .map(|_| {
+                if kind.is_flip_flop() {
+                    pick_source(
+                        &mut rng,
+                        *module,
+                        &module_outputs,
+                        &all_outputs,
+                        &input_nets,
+                    )
+                } else {
+                    pick_source(&mut rng, *module, &wired, &wired_global, &input_nets)
+                }
+            })
             .collect();
         let prefix = if kind.is_flip_flop() { "FF" } else { "U" };
         netlist.add_instance(&format!("{prefix}{k}"), *kind, inputs, Some(*out));
+        if !kind.is_flip_flop() {
+            wired[*module].push(*out);
+            wired_global.push(*out);
+        }
     }
 
     // Primary outputs sample arbitrary internal nets.

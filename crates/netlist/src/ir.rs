@@ -278,11 +278,7 @@ impl Netlist {
     pub fn net_pins(&self) -> Vec<Vec<InstId>> {
         let mut pins: Vec<Vec<InstId>> = vec![Vec::new(); self.nets.len()];
         for (idx, inst) in self.instances.iter().enumerate() {
-            for net in inst
-                .inputs
-                .iter()
-                .chain(inst.output.iter())
-            {
+            for net in inst.inputs.iter().chain(inst.output.iter()) {
                 pins[net.0].push(InstId(idx));
             }
         }

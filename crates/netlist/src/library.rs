@@ -80,10 +80,7 @@ impl CellLibrary {
     /// Total placeable area of an iterator of kinds.
     #[must_use]
     pub fn total_area<I: IntoIterator<Item = CellKind>>(&self, kinds: I) -> Area {
-        kinds
-            .into_iter()
-            .map(|k| self.footprint(k).area())
-            .sum()
+        kinds.into_iter().map(|k| self.footprint(k).area()).sum()
     }
 }
 

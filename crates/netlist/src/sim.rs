@@ -166,7 +166,11 @@ impl<'a> Simulator<'a> {
                 let Some(out) = inst.output else { continue };
                 let new = evaluate_gate(
                     inst.kind,
-                    inst.inputs.iter().map(|n| self.values[n.0]).collect::<Vec<_>>().as_slice(),
+                    inst.inputs
+                        .iter()
+                        .map(|n| self.values[n.0])
+                        .collect::<Vec<_>>()
+                        .as_slice(),
                 );
                 if new != self.values[out.0] {
                     self.values[out.0] = new;
@@ -301,7 +305,7 @@ G10 = NOR(G14, G11)\nG11 = NOR(G5, G9)\nG12 = NOR(G1, G7)\nG13 = NOR(G2, G12)\n"
     fn power_cycles_are_transparent() {
         let spec = crate::benchmarks::by_name("s838").expect("benchmark");
         let n = crate::benchmarks::generate_scaled(spec, 400);
-        let drive = |cycle: usize, k: usize| Some((cycle * 31 + k * 7) % 3 == 0);
+        let drive = |cycle: usize, k: usize| Some((cycle * 31 + k * 7).is_multiple_of(3));
 
         let run = |power_cycle_at: Option<usize>| -> Vec<Vec<Logic>> {
             let mut sim = Simulator::new(&n);
@@ -311,8 +315,7 @@ G10 = NOR(G14, G11)\nG11 = NOR(G5, G9)\nG12 = NOR(G1, G7)\nG13 = NOR(G2, G12)\n"
                 if power_cycle_at == Some(cycle) {
                     sim.power_cycle();
                 }
-                let inputs: Vec<Logic> =
-                    (0..sim.input_count()).map(|k| drive(cycle, k)).collect();
+                let inputs: Vec<Logic> = (0..sim.input_count()).map(|k| drive(cycle, k)).collect();
                 stream.push(sim.step(&inputs));
             }
             stream

@@ -100,7 +100,10 @@ mod tests {
         assert!(v.contains("input pi0;"));
         assert!(v.contains("DFF"));
         // One instantiation line per non-port instance.
-        let inst_lines = v.lines().filter(|l| l.contains(" U") || l.contains(" FF")).count();
+        let inst_lines = v
+            .lines()
+            .filter(|l| l.contains(" U") || l.contains(" FF"))
+            .count();
         assert!(inst_lines >= 100);
     }
 

@@ -267,7 +267,7 @@ pub fn _placed_cell_ty(cell: &PlacedCell) -> &str {
 mod tests {
     use super::*;
     use crate::placer::{self, PlacerOptions};
-    use netlist::{CellLibrary, benchmarks};
+    use netlist::{benchmarks, CellLibrary};
 
     fn placed() -> PlacedDesign {
         let n = benchmarks::generate(benchmarks::by_name("s344").unwrap());
@@ -281,10 +281,7 @@ mod tests {
         let parsed = parse(&text).expect("parse");
         assert_eq!(parsed.name(), "s344");
         assert_eq!(parsed.cells().len(), design.cells().len());
-        assert_eq!(
-            parsed.flip_flops().count(),
-            design.flip_flops().count()
-        );
+        assert_eq!(parsed.flip_flops().count(), design.flip_flops().count());
         // Coordinates survive to DBU precision (1 nm).
         for (a, b) in design.cells().iter().zip(parsed.cells()) {
             assert_eq!(a.name, b.name);

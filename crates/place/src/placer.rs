@@ -197,9 +197,7 @@ fn pack_rows(
     let mut used_sites = 0usize;
     let mut row_cells: Vec<(InstId, usize)> = Vec::new(); // (inst, sites)
 
-    let flush = |row: usize,
-                     row_cells: &mut Vec<(InstId, usize)>,
-                     cells: &mut Vec<PlacedCell>| {
+    let flush = |row: usize, row_cells: &mut Vec<(InstId, usize)>, cells: &mut Vec<PlacedCell>| {
         // Even rows fill left→right, odd rows right→left (snake), which
         // keeps order-adjacent cells physically adjacent across row
         // boundaries.
@@ -424,12 +422,12 @@ mod tests {
         // separates previously adjacent instances.
         let ids = n.placeable();
         let stride = 101; // coprime to any realistic instance count here
-        let random_order: Vec<InstId> =
-            (0..ids.len()).map(|k| ids[(k * stride) % ids.len()]).collect();
+        let random_order: Vec<InstId> = (0..ids.len())
+            .map(|k| ids[(k * stride) % ids.len()])
+            .collect();
         let shuffled = pack_rows(&n, &lib, &fp, &random_order);
-        let as_design = |cells: Vec<PlacedCell>| {
-            PlacedDesign::from_parts("x".into(), fp.clone(), cells)
-        };
+        let as_design =
+            |cells: Vec<PlacedCell>| PlacedDesign::from_parts("x".into(), fp.clone(), cells);
         let hp_clustered = as_design(clustered).hpwl(&n, &lib);
         let hp_shuffled = as_design(shuffled).hpwl(&n, &lib);
         assert!(

@@ -17,15 +17,47 @@
 //! each accepted step from the solved branch current, so a write pulse
 //! switches the device mid-simulation and later steps see the new
 //! resistance — the behaviour the store-phase simulations rely on.
+//!
+//! # Architecture
+//!
+//! The engine is organised around a reusable [`SimulationSession`]:
+//!
+//! * [`assembly`](self) — each device is resolved once into a stamp with
+//!   pre-computed unknown indices; a `StampPlan` collects them along
+//!   with the flattened capacitor list, MTJ slots and branch table;
+//! * `newton` — the Newton–Raphson core, gmin ladder and DC sweep,
+//!   iterating in place on workspace buffers;
+//! * `transient` — the time-stepping loop, with capacitor histories
+//!   held in the workspace instead of cloned per step;
+//! * [`session`](SimulationSession) — ties a circuit to its plan and
+//!   workspace, and accumulates [`SolverStats`];
+//! * [`reference`] — the original per-call engine, frozen as a
+//!   correctness oracle and benchmark baseline.
+//!
+//! The free functions below ([`op`], [`dc_sweep`], [`transient`],
+//! [`transient_with_options`]) keep the historical one-shot API: each
+//! builds a throwaway session. Repeated simulation of the same circuit
+//! — corner sweeps, margin scans, repeated restore/store runs — should
+//! hold a [`SimulationSession`] instead.
 
 use mtj::MtjState;
-use units::{Current, Time};
+use units::Time;
 
 use crate::circuit::{Circuit, NodeId};
 use crate::device::Device;
 use crate::error::SpiceError;
-use crate::linalg::DenseMatrix;
-use crate::result::{MtjEvent, TransientResult};
+use crate::result::TransientResult;
+
+mod assembly;
+mod newton;
+pub mod reference;
+mod session;
+mod transient;
+
+pub use session::{SimulationSession, SolverStats};
+
+use assembly::StampPlan;
+use session::Workspace;
 
 /// Integration method for capacitor companion models.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -88,7 +120,10 @@ const VSTEP_MAX: f64 = 0.3;
 #[derive(Debug, Clone, PartialEq)]
 pub struct OpResult {
     voltages: Vec<f64>,
+    /// Name-sorted `(source, current)` table, resolved from the stamp
+    /// plan's branch indices at solve time.
     branch_currents: Vec<(String, f64)>,
+    stats: SolverStats,
 }
 
 impl OpResult {
@@ -106,231 +141,16 @@ impl OpResult {
     #[must_use]
     pub fn branch_current(&self, source: &str) -> Option<f64> {
         self.branch_currents
-            .iter()
-            .find(|(n, _)| n == source)
-            .map(|&(_, i)| i)
-    }
-}
-
-/// Capacitor instance flattened for companion stamping (explicit caps
-/// plus MOSFET parasitics).
-#[derive(Debug, Clone)]
-struct CapInstance {
-    ia: Option<usize>,
-    ib: Option<usize>,
-    farads: f64,
-    v_prev: f64,
-    i_prev: f64,
-}
-
-/// Computes a node voltage from the unknown vector (`None` = ground).
-fn vof(x: &[f64], idx: Option<usize>) -> f64 {
-    idx.map_or(0.0, |i| x[i])
-}
-
-/// Stamps every device's linearized equation at iterate `x` and time `t`.
-fn assemble(
-    ckt: &Circuit,
-    x: &[f64],
-    t: f64,
-    gmin: f64,
-    caps: Option<&(Vec<CapInstance>, Integrator, f64)>,
-    a: &mut DenseMatrix,
-    z: &mut [f64],
-) {
-    a.clear();
-    z.fill(0.0);
-    let n_nodes = ckt.node_count() - 1;
-
-    // gmin shunts keep otherwise-floating nodes weakly grounded.
-    for i in 0..n_nodes {
-        a.add(i, i, gmin.max(GMIN_FLOOR));
+            .binary_search_by(|(n, _)| n.as_str().cmp(source))
+            .ok()
+            .map(|i| self.branch_currents[i].1)
     }
 
-    let vidx = |node: NodeId| ckt.voltage_index(node);
-
-    for dev in ckt.devices() {
-        match dev {
-            Device::Resistor { a: na, b: nb, ohms, .. } => {
-                stamp_conductance(a, vidx(*na), vidx(*nb), 1.0 / ohms);
-            }
-            Device::Capacitor { .. } => {
-                // Stamped through the flattened companion list below.
-            }
-            Device::VoltageSource {
-                pos, neg, wave, branch, ..
-            } => {
-                let br = ckt.branch_index(*branch);
-                if let Some(ip) = vidx(*pos) {
-                    a.add(ip, br, 1.0);
-                    a.add(br, ip, 1.0);
-                }
-                if let Some(in_) = vidx(*neg) {
-                    a.add(in_, br, -1.0);
-                    a.add(br, in_, -1.0);
-                }
-                z[br] = wave.value_at(t);
-            }
-            Device::CurrentSource { pos, neg, wave, .. } => {
-                let i = wave.value_at(t);
-                if let Some(ip) = vidx(*pos) {
-                    z[ip] -= i;
-                }
-                if let Some(in_) = vidx(*neg) {
-                    z[in_] += i;
-                }
-            }
-            Device::Mosfet {
-                d, g, s, model, w, l, ..
-            } => {
-                let (id_, ig, is_) = (vidx(*d), vidx(*g), vidx(*s));
-                let vg = vof(x, ig);
-                let vd = vof(x, id_);
-                let vs = vof(x, is_);
-                let op = model.evaluate(vg, vd, vs, *w, *l);
-                // Channel current leaves the drain, enters the source:
-                //   i_d = id0 + ∂i/∂vg·Δvg + ∂i/∂vd·Δvd + ∂i/∂vs·Δvs
-                let ieq = op.id - op.di_dvg * vg - op.di_dvd * vd - op.di_dvs * vs;
-                if let Some(r) = id_ {
-                    if let Some(c) = ig {
-                        a.add(r, c, op.di_dvg);
-                    }
-                    a.add(r, r, op.di_dvd);
-                    if let Some(c) = is_ {
-                        a.add(r, c, op.di_dvs);
-                    }
-                    z[r] -= ieq;
-                }
-                if let Some(r) = is_ {
-                    if let Some(c) = ig {
-                        a.add(r, c, -op.di_dvg);
-                    }
-                    if let Some(c) = id_ {
-                        a.add(r, c, -op.di_dvd);
-                    }
-                    a.add(r, r, -op.di_dvs);
-                    z[r] += ieq;
-                }
-            }
-            Device::Mtj {
-                a: na, b: nb, device, ..
-            } => {
-                let (ia, ib) = (vidx(*na), vidx(*nb));
-                let bias = vof(x, ia) - vof(x, ib);
-                let r = device.resistance(units::Voltage::from_volts(bias));
-                stamp_conductance(a, ia, ib, 1.0 / r.ohms());
-            }
-        }
-    }
-
-    // Capacitor companions (transient only).
-    if let Some((cap_list, integrator, dt)) = caps {
-        for cap in cap_list {
-            let (geq, ieq) = match integrator {
-                Integrator::BackwardEuler => {
-                    let geq = cap.farads / dt;
-                    (geq, geq * cap.v_prev)
-                }
-                Integrator::Trapezoidal => {
-                    let geq = 2.0 * cap.farads / dt;
-                    (geq, geq * cap.v_prev + cap.i_prev)
-                }
-            };
-            stamp_conductance(a, cap.ia, cap.ib, geq);
-            if let Some(i) = cap.ia {
-                z[i] += ieq;
-            }
-            if let Some(i) = cap.ib {
-                z[i] -= ieq;
-            }
-        }
-    }
-}
-
-/// Conductance stamp between two (possibly ground) nodes.
-fn stamp_conductance(a: &mut DenseMatrix, ia: Option<usize>, ib: Option<usize>, g: f64) {
-    if let Some(i) = ia {
-        a.add(i, i, g);
-        if let Some(j) = ib {
-            a.add(i, j, -g);
-        }
-    }
-    if let Some(j) = ib {
-        a.add(j, j, g);
-        if let Some(i) = ia {
-            a.add(j, i, -g);
-        }
-    }
-}
-
-/// Newton–Raphson solve at a fixed time; returns the converged unknowns.
-#[allow(clippy::too_many_arguments)]
-fn newton(
-    ckt: &Circuit,
-    analysis: &'static str,
-    x0: &[f64],
-    t: f64,
-    gmin: f64,
-    caps: Option<&(Vec<CapInstance>, Integrator, f64)>,
-    max_iter: usize,
-) -> Result<Vec<f64>, SpiceError> {
-    let n = ckt.unknown_count();
-    let n_nodes = ckt.node_count() - 1;
-    let mut a = DenseMatrix::zeros(n);
-    let mut z = vec![0.0; n];
-    let mut x = x0.to_vec();
-
-    for _iter in 0..max_iter {
-        assemble(ckt, &x, t, gmin, caps, &mut a, &mut z);
-        let Some(x_new) = a.solve(&z) else {
-            return Err(SpiceError::SingularMatrix { analysis, time: t });
-        };
-        let mut converged = true;
-        for i in 0..n {
-            let mut delta = x_new[i] - x[i];
-            let tol = if i < n_nodes {
-                // Damp voltage updates so exponential models stay sane.
-                if delta.abs() > VSTEP_MAX {
-                    delta = delta.signum() * VSTEP_MAX;
-                    converged = false;
-                }
-                VNTOL + RELTOL * x_new[i].abs()
-            } else {
-                ABSTOL + RELTOL * x_new[i].abs()
-            };
-            if delta.abs() > tol {
-                converged = false;
-            }
-            x[i] += delta;
-        }
-        if converged {
-            return Ok(x);
-        }
-    }
-    Err(SpiceError::NonConvergence {
-        analysis,
-        time: t,
-        iterations: max_iter,
-    })
-}
-
-/// Extracts an [`OpResult`] from a raw unknown vector.
-fn op_result_from(ckt: &Circuit, x: &[f64]) -> OpResult {
-    let mut voltages = vec![0.0; ckt.node_count()];
-    voltages[1..ckt.node_count()].copy_from_slice(&x[..ckt.node_count() - 1]);
-    let branch_currents = ckt
-        .devices()
-        .iter()
-        .filter_map(|d| match d {
-            Device::VoltageSource { name, branch, .. } => {
-                Some((name.clone(), x[ckt.branch_index(*branch)]))
-            }
-            _ => None,
-        })
-        .collect();
-    OpResult {
-        voltages,
-        branch_currents,
+    /// Solver work spent producing this operating point (zeroed for
+    /// results from the [`reference`] engine).
+    #[must_use]
+    pub fn solver_stats(&self) -> SolverStats {
+        self.stats
     }
 }
 
@@ -340,40 +160,26 @@ fn op_result_from(ckt: &Circuit, x: &[f64]) -> OpResult {
 /// every node to ground and progressively relaxed to the 1 pS floor,
 /// tracking the solution with Newton at each stage.
 ///
+/// This one-shot form builds a throwaway workspace; hold a
+/// [`SimulationSession`] to reuse it across repeated solves.
+///
 /// # Errors
 ///
 /// [`SpiceError::SingularMatrix`] for degenerate topologies and
 /// [`SpiceError::NonConvergence`] if Newton fails even at the strongest
 /// shunt.
 pub fn op(ckt: &mut Circuit) -> Result<OpResult, SpiceError> {
-    let x = op_unknowns(ckt, 0.0)?;
-    Ok(op_result_from(ckt, &x))
-}
-
-/// Raw gmin-stepped operating-point solve at time `t`.
-fn op_unknowns(ckt: &Circuit, t: f64) -> Result<Vec<f64>, SpiceError> {
-    let n = ckt.unknown_count();
-    let mut x = vec![0.0; n];
-    let gmin_ladder = [1e-2, 1e-4, 1e-6, 1e-8, 1e-10, GMIN_FLOOR];
-    for (stage, &gmin) in gmin_ladder.iter().enumerate() {
-        match newton(ckt, "op", &x, t, gmin, None, 400) {
-            Ok(solution) => x = solution,
-            Err(e) if stage == 0 => return Err(e),
-            Err(_) => {
-                // Keep the last converged (more heavily shunted) solution
-                // and continue down the ladder; final stage must succeed.
-                if gmin <= GMIN_FLOOR {
-                    return newton(ckt, "op", &x, t, GMIN_FLOOR, None, 800);
-                }
-            }
-        }
-    }
-    Ok(x)
+    let plan = StampPlan::build(ckt);
+    let mut ws = Workspace::for_plan(&plan);
+    newton::op_core(&plan, ckt, &mut ws)
 }
 
 /// Sweeps the DC value of the named voltage source, solving the operating
 /// point at each level with warm-started continuation (each solution seeds
 /// the next — essential for tracing bistable transfer curves).
+///
+/// This one-shot form builds a throwaway workspace; hold a
+/// [`SimulationSession`] to reuse it across repeated sweeps.
 ///
 /// # Errors
 ///
@@ -385,77 +191,9 @@ pub fn dc_sweep(
     source: &str,
     values: &[f64],
 ) -> Result<Vec<OpResult>, SpiceError> {
-    if values.is_empty() {
-        return Err(SpiceError::InvalidAnalysis {
-            reason: "dc sweep needs at least one source value".into(),
-        });
-    }
-    // Confirm the source exists before mutating anything.
-    let exists = ckt
-        .devices()
-        .iter()
-        .any(|d| matches!(d, Device::VoltageSource { name, .. } if name == source));
-    if !exists {
-        return Err(SpiceError::UnknownTrace {
-            name: source.into(),
-        });
-    }
-
-    let original = ckt
-        .devices()
-        .iter()
-        .find_map(|d| match d {
-            Device::VoltageSource { name, wave, .. } if name == source => Some(wave.clone()),
-            _ => None,
-        })
-        .expect("source existence checked above");
-
-    let mut results = Vec::with_capacity(values.len());
-    let mut x = vec![0.0; ckt.unknown_count()];
-    let mut warm = false;
-    for &v in values {
-        set_source_dc(ckt, source, v);
-        let solved = if warm {
-            newton(ckt, "dc", &x, 0.0, GMIN_FLOOR, None, 400)
-                .or_else(|_| op_unknowns(ckt, 0.0))
-        } else {
-            op_unknowns(ckt, 0.0)
-        };
-        match solved {
-            Ok(sol) => {
-                x = sol;
-                warm = true;
-                results.push(op_result_from(ckt, &x));
-            }
-            Err(e) => {
-                restore_source(ckt, source, original);
-                return Err(e);
-            }
-        }
-    }
-    restore_source(ckt, source, original);
-    Ok(results)
-}
-
-fn set_source_dc(ckt: &mut Circuit, source: &str, v: f64) {
-    for d in ckt.devices_mut() {
-        if let Device::VoltageSource { name, wave, .. } = d {
-            if name == source {
-                *wave = crate::source::SourceWaveform::Dc(v);
-            }
-        }
-    }
-}
-
-fn restore_source(ckt: &mut Circuit, source: &str, original: crate::source::SourceWaveform) {
-    for d in ckt.devices_mut() {
-        if let Device::VoltageSource { name, wave, .. } = d {
-            if name == source {
-                *wave = original;
-                return;
-            }
-        }
-    }
+    let plan = StampPlan::build(ckt);
+    let mut ws = Workspace::for_plan(&plan);
+    newton::run_dc_sweep(&plan, ckt, &mut ws, source, values)
 }
 
 /// Runs a transient analysis with default options.
@@ -465,11 +203,7 @@ fn restore_source(ckt: &mut Circuit, source: &str, original: crate::source::Sour
 /// # Errors
 ///
 /// Propagates every error of [`transient_with_options`].
-pub fn transient(
-    ckt: &mut Circuit,
-    stop: Time,
-    step: Time,
-) -> Result<TransientResult, SpiceError> {
+pub fn transient(ckt: &mut Circuit, stop: Time, step: Time) -> Result<TransientResult, SpiceError> {
     transient_with_options(ckt, stop, step, TransientOptions::default())
 }
 
@@ -480,7 +214,10 @@ pub fn transient(
 /// `options.max_step_halvings` times) when Newton refuses to converge.
 /// After every accepted step each MTJ device integrates its switching
 /// progress from the solved branch current; reversals are recorded as
-/// [`MtjEvent`]s in the result.
+/// [`MtjEvent`](crate::result::MtjEvent)s in the result.
+///
+/// This one-shot form builds a throwaway workspace; hold a
+/// [`SimulationSession`] to reuse it across repeated transients.
 ///
 /// # Errors
 ///
@@ -493,158 +230,9 @@ pub fn transient_with_options(
     step: Time,
     options: TransientOptions,
 ) -> Result<TransientResult, SpiceError> {
-    let stop_s = stop.seconds();
-    let dt_nominal = step.seconds();
-    if stop_s <= 0.0 || dt_nominal <= 0.0 || stop_s.is_nan() || dt_nominal.is_nan() {
-        return Err(SpiceError::InvalidAnalysis {
-            reason: format!("stop ({stop}) and step ({step}) must be positive"),
-        });
-    }
-    if dt_nominal > stop_s {
-        return Err(SpiceError::InvalidAnalysis {
-            reason: format!("step ({step}) exceeds the analysis window ({stop})"),
-        });
-    }
-
-    // Initial state.
-    let mut x = match options.start {
-        StartCondition::OperatingPoint => op_unknowns(ckt, 0.0)?,
-        StartCondition::Zero => vec![0.0; ckt.unknown_count()],
-    };
-
-    // Flatten capacitors (explicit + MOSFET parasitics) with history.
-    let mut caps: Vec<CapInstance> = Vec::new();
-    for dev in ckt.devices() {
-        match dev {
-            Device::Capacitor { a, b, farads, .. } => {
-                caps.push(CapInstance {
-                    ia: ckt.voltage_index(*a),
-                    ib: ckt.voltage_index(*b),
-                    farads: *farads,
-                    v_prev: 0.0,
-                    i_prev: 0.0,
-                });
-            }
-            Device::Mosfet {
-                d, g, s, model, w, l, ..
-            } => {
-                let cgs = model.cgs(*w, *l);
-                let cj = model.cjunction(*w);
-                let (di, gi, si) = (
-                    ckt.voltage_index(*d),
-                    ckt.voltage_index(*g),
-                    ckt.voltage_index(*s),
-                );
-                caps.push(CapInstance { ia: gi, ib: si, farads: cgs, v_prev: 0.0, i_prev: 0.0 });
-                caps.push(CapInstance { ia: gi, ib: di, farads: cgs, v_prev: 0.0, i_prev: 0.0 });
-                caps.push(CapInstance { ia: di, ib: None, farads: cj, v_prev: 0.0, i_prev: 0.0 });
-                caps.push(CapInstance { ia: si, ib: None, farads: cj, v_prev: 0.0, i_prev: 0.0 });
-            }
-            _ => {}
-        }
-    }
-    for cap in &mut caps {
-        cap.v_prev = vof(&x, cap.ia) - vof(&x, cap.ib);
-    }
-
-    // Result storage.
-    let mut recorder = TransientResult::recorder(ckt);
-    recorder.push(0.0, &x, ckt);
-    let mut events: Vec<MtjEvent> = Vec::new();
-
-    let mut t = 0.0_f64;
-    while t < stop_s - 1e-18 {
-        // Candidate step: nominal, clipped to breakpoints and the window.
-        let mut dt = dt_nominal.min(stop_s - t);
-        if let Some(bp) = next_breakpoint(ckt, t) {
-            if bp > t + 1e-18 && bp < t + dt {
-                dt = bp - t;
-            }
-        }
-
-        // Solve with step halving on non-convergence.
-        let mut halvings = 0;
-        let (x_new, dt_used) = loop {
-            let companion = (caps.clone(), options.integrator, dt);
-            match newton(
-                ckt,
-                "tran",
-                &x,
-                t + dt,
-                GMIN_FLOOR,
-                Some(&companion),
-                options.max_newton_iterations,
-            ) {
-                Ok(sol) => break (sol, dt),
-                Err(e) => {
-                    halvings += 1;
-                    if halvings > options.max_step_halvings {
-                        return Err(e);
-                    }
-                    dt *= 0.5;
-                }
-            }
-        };
-        t += dt_used;
-        x = x_new;
-
-        // Update capacitor history.
-        for cap in &mut caps {
-            let v_now = vof(&x, cap.ia) - vof(&x, cap.ib);
-            let i_now = match options.integrator {
-                Integrator::BackwardEuler => cap.farads / dt_used * (v_now - cap.v_prev),
-                Integrator::Trapezoidal => {
-                    2.0 * cap.farads / dt_used * (v_now - cap.v_prev) - cap.i_prev
-                }
-            };
-            cap.v_prev = v_now;
-            cap.i_prev = i_now;
-        }
-
-        // Advance MTJ magnetisation from the solved branch currents.
-        let voltage_pairs: Vec<(usize, Option<usize>, Option<usize>)> = ckt
-            .devices()
-            .iter()
-            .enumerate()
-            .filter_map(|(i, d)| match d {
-                Device::Mtj { a, b, .. } => {
-                    Some((i, ckt.voltage_index(*a), ckt.voltage_index(*b)))
-                }
-                _ => None,
-            })
-            .collect();
-        for (dev_idx, ia, ib) in voltage_pairs {
-            let bias = vof(&x, ia) - vof(&x, ib);
-            if let Device::Mtj { name, device, .. } = &mut ckt.devices_mut()[dev_idx] {
-                let r = device.resistance(units::Voltage::from_volts(bias));
-                let i = Current::from_amps(bias / r.ohms());
-                if device.advance(i, Time::from_seconds(dt_used)) {
-                    events.push(MtjEvent {
-                        time: Time::from_seconds(t),
-                        device: name.clone(),
-                        state: device.state(),
-                    });
-                }
-            }
-        }
-
-        recorder.push(t, &x, ckt);
-    }
-
-    Ok(recorder.finish(events))
-}
-
-/// Earliest source breakpoint strictly after `t`, across all sources.
-fn next_breakpoint(ckt: &Circuit, t: f64) -> Option<f64> {
-    ckt.devices()
-        .iter()
-        .filter_map(|d| match d {
-            Device::VoltageSource { wave, .. } | Device::CurrentSource { wave, .. } => {
-                wave.next_breakpoint(t)
-            }
-            _ => None,
-        })
-        .min_by(|a, b| a.partial_cmp(b).expect("breakpoints are finite"))
+    let plan = StampPlan::build(ckt);
+    let mut ws = Workspace::for_plan(&plan);
+    transient::run(&plan, ckt, &mut ws, stop, step, options)
 }
 
 /// Returns the MTJ states currently held by a circuit, in device order.
@@ -742,8 +330,13 @@ mod tests {
         .expect("VIN");
         ckt.add_resistor("R1", inp, out, Resistance::from_kilo_ohms(1.0))
             .expect("R1");
-        ckt.add_capacitor("C1", out, Circuit::GROUND, Capacitance::from_pico_farads(1.0))
-            .expect("C1");
+        ckt.add_capacitor(
+            "C1",
+            out,
+            Circuit::GROUND,
+            Capacitance::from_pico_farads(1.0),
+        )
+        .expect("C1");
         // τ = 1 ns; simulate 3 ns with 5 ps steps.
         let res = transient(
             &mut ckt,
@@ -784,8 +377,13 @@ mod tests {
             .expect("VIN");
             ckt.add_resistor("R1", inp, out, Resistance::from_kilo_ohms(1.0))
                 .expect("R1");
-            ckt.add_capacitor("C1", out, Circuit::GROUND, Capacitance::from_pico_farads(1.0))
-                .expect("C1");
+            ckt.add_capacitor(
+                "C1",
+                out,
+                Circuit::GROUND,
+                Capacitance::from_pico_farads(1.0),
+            )
+            .expect("C1");
             ckt
         };
         let sim = |integrator| {
@@ -821,8 +419,15 @@ mod tests {
             .expect("VIN");
         ckt.add_pmos("MP", out, vin, vdd, &tech, Length::from_nano_meters(400.0))
             .expect("MP");
-        ckt.add_nmos("MN", out, vin, Circuit::GROUND, &tech, Length::from_nano_meters(200.0))
-            .expect("MN");
+        ckt.add_nmos(
+            "MN",
+            out,
+            vin,
+            Circuit::GROUND,
+            &tech,
+            Length::from_nano_meters(200.0),
+        )
+        .expect("MN");
 
         let low_in = op(&mut ckt).expect("op");
         assert!(low_in.voltage(out) > 1.05, "out = {}", low_in.voltage(out));
@@ -920,10 +525,7 @@ mod tests {
         // Period from the last two rising crossings (settled region).
         let period = crossings[crossings.len() - 1] - crossings[crossings.len() - 2];
         // 5 stages × ~2 × (tens of ps per stage with 2 fF loads).
-        assert!(
-            (50e-12..2e-9).contains(&period),
-            "period = {period:.3e} s"
-        );
+        assert!((50e-12..2e-9).contains(&period), "period = {period:.3e} s");
     }
 
     #[test]
@@ -964,10 +566,12 @@ mod tests {
         ckt.add_resistor("R1", a, Circuit::GROUND, Resistance::from_ohms(100.0))
             .expect("R1");
         assert!(transient(&mut ckt, Time::ZERO, Time::from_pico_seconds(1.0)).is_err());
-        assert!(
-            transient(&mut ckt, Time::from_pico_seconds(1.0), Time::from_nano_seconds(1.0))
-                .is_err()
-        );
+        assert!(transient(
+            &mut ckt,
+            Time::from_pico_seconds(1.0),
+            Time::from_nano_seconds(1.0)
+        )
+        .is_err());
     }
 
     #[test]
@@ -1081,5 +685,134 @@ mod tests {
         .expect("X1");
         let states = mtj_states(&ckt);
         assert_eq!(states, vec![("X1".to_owned(), MtjState::AntiParallel)]);
+    }
+
+    #[test]
+    fn session_reuse_matches_one_shot_results() {
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("vin");
+        let mid = ckt.node("mid");
+        ckt.add_voltage_source("V1", vin, Circuit::GROUND, SourceWaveform::dc(volts(2.0)))
+            .expect("V1");
+        ckt.add_resistor("R1", vin, mid, Resistance::from_kilo_ohms(1.0))
+            .expect("R1");
+        ckt.add_resistor("R2", mid, Circuit::GROUND, Resistance::from_kilo_ohms(3.0))
+            .expect("R2");
+        let one_shot = op(&mut ckt.clone()).expect("op");
+
+        let mut session = SimulationSession::new(ckt);
+        let first = session.op().expect("first op");
+        let second = session.op().expect("second op");
+        assert_eq!(
+            first.voltage(mid).to_bits(),
+            one_shot.voltage(mid).to_bits()
+        );
+        assert_eq!(first.voltage(mid).to_bits(), second.voltage(mid).to_bits());
+        assert_eq!(first.branch_current("V1"), one_shot.branch_current("V1"));
+    }
+
+    #[test]
+    fn session_counts_solver_work() {
+        let mut ckt = Circuit::new();
+        let inp = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.add_voltage_source(
+            "VIN",
+            inp,
+            Circuit::GROUND,
+            SourceWaveform::Pulse {
+                v0: 0.0,
+                v1: 1.0,
+                delay: 0.0,
+                rise: 1e-15,
+                fall: 1e-15,
+                width: 1.0,
+            },
+        )
+        .expect("VIN");
+        ckt.add_resistor("R1", inp, out, Resistance::from_kilo_ohms(1.0))
+            .expect("R1");
+        ckt.add_capacitor(
+            "C1",
+            out,
+            Circuit::GROUND,
+            Capacitance::from_pico_farads(1.0),
+        )
+        .expect("C1");
+        let mut session = SimulationSession::new(ckt);
+        let res = session
+            .transient(Time::from_nano_seconds(1.0), Time::from_pico_seconds(10.0))
+            .expect("transient");
+        let stats = res.solver_stats();
+        assert!(stats.accepted_steps >= 100, "{stats:?}");
+        assert!(stats.newton_iterations >= stats.accepted_steps, "{stats:?}");
+        assert_eq!(stats.newton_iterations, stats.lu_factorizations);
+        // Cumulative session stats include the per-run delta.
+        assert_eq!(session.stats(), session.stats());
+        let cumulative = session.stats();
+        assert!(cumulative.newton_iterations >= stats.newton_iterations);
+        session.reset_stats();
+        assert_eq!(session.stats(), SolverStats::default());
+        // Op results carry their own work delta.
+        let op_stats = session.op().expect("op").solver_stats();
+        assert!(op_stats.newton_iterations > 0);
+        assert_eq!(
+            session.stats().newton_iterations,
+            op_stats.newton_iterations
+        );
+    }
+
+    #[test]
+    fn session_detects_structural_circuit_edits() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.add_voltage_source("V1", a, Circuit::GROUND, SourceWaveform::dc(volts(1.0)))
+            .expect("V1");
+        ckt.add_resistor("R1", a, Circuit::GROUND, Resistance::from_kilo_ohms(1.0))
+            .expect("R1");
+        let mut session = SimulationSession::new(ckt);
+        let before = session.op().expect("op");
+        assert!((before.voltage(a) - 1.0).abs() < 1e-9);
+        // Add a divider leg through circuit_mut: the plan must rebuild.
+        let mid = session.circuit_mut().node("mid");
+        session
+            .circuit_mut()
+            .add_resistor("R2", a, mid, Resistance::from_kilo_ohms(1.0))
+            .expect("R2");
+        session
+            .circuit_mut()
+            .add_resistor("R3", mid, Circuit::GROUND, Resistance::from_kilo_ohms(1.0))
+            .expect("R3");
+        let after = session.op().expect("op after edit");
+        assert!(
+            (after.voltage(mid) - 0.5).abs() < 1e-6,
+            "{}",
+            after.voltage(mid)
+        );
+        let ckt = session.into_circuit();
+        assert_eq!(ckt.devices().len(), 4);
+    }
+
+    #[test]
+    fn reference_engine_agrees_with_session_engine() {
+        let build = || {
+            let mut ckt = Circuit::new();
+            let vin = ckt.node("vin");
+            let mid = ckt.node("mid");
+            ckt.add_voltage_source("V1", vin, Circuit::GROUND, SourceWaveform::dc(volts(2.0)))
+                .expect("V1");
+            ckt.add_resistor("R1", vin, mid, Resistance::from_kilo_ohms(1.0))
+                .expect("R1");
+            ckt.add_resistor("R2", mid, Circuit::GROUND, Resistance::from_kilo_ohms(3.0))
+                .expect("R2");
+            ckt
+        };
+        let mut a = build();
+        let mut b = build();
+        let mid = a.find_node("mid").expect("mid");
+        let new = op(&mut a).expect("session engine");
+        let old = reference::op(&mut b).expect("reference engine");
+        assert_eq!(new.voltage(mid).to_bits(), old.voltage(mid).to_bits());
+        assert_eq!(new.branch_current("V1"), old.branch_current("V1"));
     }
 }

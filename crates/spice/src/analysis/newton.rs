@@ -1,0 +1,259 @@
+//! Newton–Raphson core, gmin-stepped operating point and DC sweep —
+//! all operating in place on pre-allocated workspace buffers.
+//!
+//! The arithmetic here reproduces the original allocating engine
+//! operation for operation (see [`super::reference`]); the only change
+//! is *where* intermediates live. The iterate evolves in `bufs.x`
+//! directly, so callers that need the pre-solve state on failure (the
+//! gmin ladder, transient step halving) save it to `bufs.x_save` first.
+
+use crate::circuit::Circuit;
+use crate::device::Device;
+use crate::error::SpiceError;
+use crate::linalg::{DenseMatrix, LuScratch};
+
+use super::assembly::{assemble, Companions, StampPlan};
+use super::session::{SolverStats, Workspace};
+use super::{OpResult, ABSTOL, GMIN_FLOOR, RELTOL, VNTOL, VSTEP_MAX};
+
+/// Mutable views over the workspace fields the Newton solver touches.
+///
+/// Borrowed (rather than owning `&mut Workspace`) so the transient loop
+/// can hold the capacitor histories separately — see
+/// [`Workspace::split`].
+pub(super) struct SolverBufs<'w> {
+    pub a: &'w mut DenseMatrix,
+    pub z: &'w mut Vec<f64>,
+    pub x: &'w mut Vec<f64>,
+    pub x_new: &'w mut Vec<f64>,
+    pub x_save: &'w mut Vec<f64>,
+    pub lu: &'w mut LuScratch,
+    pub stats: &'w mut SolverStats,
+}
+
+impl SolverBufs<'_> {
+    /// Copies the current iterate aside (ladder stages and transient
+    /// steps restore it on a failed solve).
+    pub(super) fn save_x(&mut self) {
+        self.x_save.clear();
+        self.x_save.extend_from_slice(self.x);
+    }
+
+    /// Restores the iterate saved by [`SolverBufs::save_x`].
+    pub(super) fn restore_x(&mut self) {
+        self.x.clear();
+        self.x.extend_from_slice(self.x_save);
+    }
+
+    /// Resets the iterate to the all-zero starting point.
+    pub(super) fn zero_x(&mut self, n: usize) {
+        self.x.clear();
+        self.x.resize(n, 0.0);
+    }
+}
+
+/// Newton–Raphson solve at a fixed time, iterating `bufs.x` in place.
+///
+/// On `Err` the iterate is left mid-update; callers that continue from
+/// the previous solution must restore it from `bufs.x_save`.
+#[allow(clippy::too_many_arguments)]
+pub(super) fn newton(
+    plan: &StampPlan,
+    ckt: &Circuit,
+    bufs: &mut SolverBufs<'_>,
+    analysis: &'static str,
+    t: f64,
+    gmin: f64,
+    companions: Option<&Companions<'_>>,
+    max_iter: usize,
+) -> Result<(), SpiceError> {
+    let n = plan.n_unknowns;
+    let n_nodes = plan.n_nodes;
+
+    for _iter in 0..max_iter {
+        assemble(plan, ckt, bufs.x, t, gmin, companions, bufs.a, bufs.z);
+        bufs.stats.newton_iterations += 1;
+        bufs.stats.lu_factorizations += 1;
+        // `assemble` rebuilds the matrix next iteration anyway, so let
+        // the factorization consume it in place instead of paying an
+        // n² working-copy memcpy per solve.
+        if !bufs.a.solve_in_place(bufs.z, bufs.lu, bufs.x_new) {
+            return Err(SpiceError::SingularMatrix { analysis, time: t });
+        }
+        let mut converged = true;
+        for i in 0..n {
+            let mut delta = bufs.x_new[i] - bufs.x[i];
+            let tol = if i < n_nodes {
+                // Damp voltage updates so exponential models stay sane.
+                if delta.abs() > VSTEP_MAX {
+                    delta = delta.signum() * VSTEP_MAX;
+                    converged = false;
+                }
+                VNTOL + RELTOL * bufs.x_new[i].abs()
+            } else {
+                ABSTOL + RELTOL * bufs.x_new[i].abs()
+            };
+            if delta.abs() > tol {
+                converged = false;
+            }
+            bufs.x[i] += delta;
+        }
+        if converged {
+            return Ok(());
+        }
+    }
+    Err(SpiceError::NonConvergence {
+        analysis,
+        time: t,
+        iterations: max_iter,
+    })
+}
+
+/// Gmin-stepped operating-point solve at time `t`, starting from zero;
+/// leaves the solution in `bufs.x`.
+pub(super) fn solve_op_from_zero(
+    plan: &StampPlan,
+    ckt: &Circuit,
+    bufs: &mut SolverBufs<'_>,
+    t: f64,
+) -> Result<(), SpiceError> {
+    bufs.zero_x(plan.n_unknowns);
+    let gmin_ladder = [1e-2, 1e-4, 1e-6, 1e-8, 1e-10, GMIN_FLOOR];
+    for (stage, &gmin) in gmin_ladder.iter().enumerate() {
+        bufs.save_x();
+        match newton(plan, ckt, bufs, "op", t, gmin, None, 400) {
+            Ok(()) => {}
+            Err(e) if stage == 0 => return Err(e),
+            Err(_) => {
+                // Keep the last converged (more heavily shunted) solution
+                // and continue down the ladder; final stage must succeed.
+                bufs.restore_x();
+                if gmin <= GMIN_FLOOR {
+                    return newton(plan, ckt, bufs, "op", t, GMIN_FLOOR, None, 800);
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Extracts an [`OpResult`] from the raw unknown vector, using the
+/// plan's pre-resolved (and name-sorted) branch table.
+pub(super) fn op_result_from(plan: &StampPlan, ckt: &Circuit, x: &[f64]) -> OpResult {
+    let mut voltages = vec![0.0; ckt.node_count()];
+    voltages[1..ckt.node_count()].copy_from_slice(&x[..ckt.node_count() - 1]);
+    let branch_currents = plan
+        .branches
+        .iter()
+        .map(|(name, br)| (name.clone(), x[*br]))
+        .collect();
+    OpResult {
+        voltages,
+        branch_currents,
+        stats: SolverStats::default(),
+    }
+}
+
+/// Operating-point analysis against a prepared plan and workspace.
+pub(super) fn op_core(
+    plan: &StampPlan,
+    ckt: &Circuit,
+    ws: &mut Workspace,
+) -> Result<OpResult, SpiceError> {
+    let before = ws.stats;
+    let (mut bufs, _) = ws.split();
+    solve_op_from_zero(plan, ckt, &mut bufs, 0.0)?;
+    let mut result = op_result_from(plan, ckt, bufs.x);
+    result.stats = *bufs.stats - before;
+    Ok(result)
+}
+
+/// DC sweep of the named voltage source with warm-started continuation,
+/// against a prepared plan and workspace.
+pub(super) fn run_dc_sweep(
+    plan: &StampPlan,
+    ckt: &mut Circuit,
+    ws: &mut Workspace,
+    source: &str,
+    values: &[f64],
+) -> Result<Vec<OpResult>, SpiceError> {
+    if values.is_empty() {
+        return Err(SpiceError::InvalidAnalysis {
+            reason: "dc sweep needs at least one source value".into(),
+        });
+    }
+    // Confirm the source exists before mutating anything.
+    let exists = ckt
+        .devices()
+        .iter()
+        .any(|d| matches!(d, Device::VoltageSource { name, .. } if name == source));
+    if !exists {
+        return Err(SpiceError::UnknownTrace {
+            name: source.into(),
+        });
+    }
+
+    let original = ckt
+        .devices()
+        .iter()
+        .find_map(|d| match d {
+            Device::VoltageSource { name, wave, .. } if name == source => Some(wave.clone()),
+            _ => None,
+        })
+        .expect("source existence checked above");
+
+    let (mut bufs, _) = ws.split();
+    let mut results = Vec::with_capacity(values.len());
+    let mut warm = false;
+    for &v in values {
+        set_source_dc(ckt, source, v);
+        let before = *bufs.stats;
+        let solved = if warm {
+            // Warm start from the previous point's solution; fall back to
+            // the full gmin ladder (which restarts from zero) on failure.
+            newton(plan, ckt, &mut bufs, "dc", 0.0, GMIN_FLOOR, None, 400)
+                .or_else(|_| solve_op_from_zero(plan, ckt, &mut bufs, 0.0))
+        } else {
+            solve_op_from_zero(plan, ckt, &mut bufs, 0.0)
+        };
+        match solved {
+            Ok(()) => {
+                warm = true;
+                let mut r = op_result_from(plan, ckt, bufs.x);
+                r.stats = *bufs.stats - before;
+                results.push(r);
+            }
+            Err(e) => {
+                restore_source(ckt, source, original);
+                return Err(e);
+            }
+        }
+    }
+    restore_source(ckt, source, original);
+    Ok(results)
+}
+
+pub(super) fn set_source_dc(ckt: &mut Circuit, source: &str, v: f64) {
+    for d in ckt.devices_mut() {
+        if let Device::VoltageSource { name, wave, .. } = d {
+            if name == source {
+                *wave = crate::source::SourceWaveform::Dc(v);
+            }
+        }
+    }
+}
+
+pub(super) fn restore_source(
+    ckt: &mut Circuit,
+    source: &str,
+    original: crate::source::SourceWaveform,
+) {
+    for d in ckt.devices_mut() {
+        if let Device::VoltageSource { name, wave, .. } = d {
+            if name == source {
+                *wave = original;
+                return;
+            }
+        }
+    }
+}

@@ -1,0 +1,284 @@
+//! The reusable [`SimulationSession`] and its solver workspace.
+//!
+//! A session owns a circuit together with everything the analyses would
+//! otherwise rebuild per call: the [`StampPlan`](super::assembly::StampPlan)
+//! of pre-resolved device stamps and the [`Workspace`] of solver buffers
+//! (MNA matrix, RHS, iterate vectors, LU scratch, capacitor histories).
+//! Running a second analysis — the next Newton iteration, time step,
+//! DC-sweep point, or an entirely new transient — reuses those
+//! allocations, which is what makes repeated corner-sweep simulation
+//! cheap.
+
+use std::ops::{Add, AddAssign, Sub};
+
+use units::Time;
+
+use crate::circuit::Circuit;
+use crate::error::SpiceError;
+use crate::linalg::{DenseMatrix, LuScratch};
+use crate::result::TransientResult;
+
+use super::assembly::{CapState, StampPlan};
+use super::newton::SolverBufs;
+use super::{newton, transient, OpResult, TransientOptions};
+
+/// Cumulative solver work counters.
+///
+/// Exposed per analysis on [`OpResult::solver_stats`] and
+/// [`TransientResult::solver_stats`](crate::result::TransientResult::solver_stats),
+/// and cumulatively on [`SimulationSession::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Newton–Raphson iterations performed.
+    pub newton_iterations: u64,
+    /// Dense LU factorizations (one per Newton iteration).
+    pub lu_factorizations: u64,
+    /// Transient time steps accepted.
+    pub accepted_steps: u64,
+    /// Transient Newton solves that failed to converge (each triggers a
+    /// retry at a smaller step, or the analysis error).
+    pub rejected_steps: u64,
+    /// Times a transient step was halved after a rejection.
+    pub step_halvings: u64,
+}
+
+impl Add for SolverStats {
+    type Output = Self;
+
+    fn add(self, rhs: Self) -> Self {
+        Self {
+            newton_iterations: self.newton_iterations + rhs.newton_iterations,
+            lu_factorizations: self.lu_factorizations + rhs.lu_factorizations,
+            accepted_steps: self.accepted_steps + rhs.accepted_steps,
+            rejected_steps: self.rejected_steps + rhs.rejected_steps,
+            step_halvings: self.step_halvings + rhs.step_halvings,
+        }
+    }
+}
+
+impl AddAssign for SolverStats {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SolverStats {
+    type Output = Self;
+
+    fn sub(self, rhs: Self) -> Self {
+        Self {
+            newton_iterations: self.newton_iterations - rhs.newton_iterations,
+            lu_factorizations: self.lu_factorizations - rhs.lu_factorizations,
+            accepted_steps: self.accepted_steps - rhs.accepted_steps,
+            rejected_steps: self.rejected_steps - rhs.rejected_steps,
+            step_halvings: self.step_halvings - rhs.step_halvings,
+        }
+    }
+}
+
+/// Solver working storage sized for one circuit: allocated when the plan
+/// is built, reused by every subsequent solve.
+#[derive(Debug)]
+pub(crate) struct Workspace {
+    pub(super) a: DenseMatrix,
+    pub(super) z: Vec<f64>,
+    pub(super) x: Vec<f64>,
+    pub(super) x_new: Vec<f64>,
+    pub(super) x_save: Vec<f64>,
+    pub(super) lu: LuScratch,
+    pub(super) cap_states: Vec<CapState>,
+    pub(super) stats: SolverStats,
+}
+
+impl Workspace {
+    /// Allocates buffers sized for `plan`'s system.
+    pub(crate) fn for_plan(plan: &StampPlan) -> Self {
+        let n = plan.n_unknowns;
+        Self {
+            a: DenseMatrix::zeros(n),
+            z: vec![0.0; n],
+            x: vec![0.0; n],
+            x_new: Vec::with_capacity(n),
+            x_save: Vec::with_capacity(n),
+            lu: LuScratch::for_dim(n),
+            cap_states: vec![CapState::default(); plan.caps.len()],
+            stats: SolverStats::default(),
+        }
+    }
+
+    /// Splits the workspace into the Newton-solver buffers and the
+    /// capacitor histories, so a transient can hold both mutably (the
+    /// companion context borrows the histories while Newton owns the
+    /// rest).
+    pub(super) fn split(&mut self) -> (SolverBufs<'_>, &mut Vec<CapState>) {
+        let Self {
+            a,
+            z,
+            x,
+            x_new,
+            x_save,
+            lu,
+            cap_states,
+            stats,
+        } = self;
+        (
+            SolverBufs {
+                a,
+                z,
+                x,
+                x_new,
+                x_save,
+                lu,
+                stats,
+            },
+            cap_states,
+        )
+    }
+}
+
+/// A circuit bound to a reusable solver workspace.
+///
+/// Construct once, then run any number of analyses against the same
+/// circuit; the MNA matrix, vectors, LU scratch, per-device stamp plan
+/// and capacitor histories are allocated a single time and reused. The
+/// one-shot free functions ([`op`](super::op), [`transient`](super::transient),
+/// …) are thin wrappers that build a throwaway session per call.
+///
+/// Between runs the circuit may be mutated through
+/// [`SimulationSession::circuit_mut`] — retuning source waveforms,
+/// preconditioning MTJ states, or restoring a
+/// [`CircuitSnapshot`](crate::circuit::CircuitSnapshot). Parameter
+/// changes like these reuse the existing plan; structural changes
+/// (adding devices or nodes) are detected and trigger a transparent
+/// rebuild on the next analysis.
+///
+/// # Examples
+///
+/// ```
+/// use spice::{Circuit, SimulationSession, SourceWaveform};
+/// use units::{Resistance, Voltage};
+///
+/// # fn main() -> Result<(), spice::SpiceError> {
+/// let mut ckt = Circuit::new();
+/// let vin = ckt.node("vin");
+/// let mid = ckt.node("mid");
+/// ckt.add_voltage_source("V1", vin, Circuit::GROUND,
+///     SourceWaveform::dc(Voltage::from_volts(2.0)))?;
+/// ckt.add_resistor("R1", vin, mid, Resistance::from_kilo_ohms(1.0))?;
+/// ckt.add_resistor("R2", mid, Circuit::GROUND, Resistance::from_kilo_ohms(3.0))?;
+///
+/// let mut session = SimulationSession::new(ckt);
+/// let op = session.op()?;
+/// let mid = session.circuit().find_node("mid").expect("mid exists");
+/// assert!((op.voltage(mid) - 1.5).abs() < 1e-6);
+/// // A second solve reuses every buffer of the first.
+/// let again = session.op()?;
+/// assert_eq!(op.voltage(mid), again.voltage(mid));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct SimulationSession {
+    ckt: Circuit,
+    plan: StampPlan,
+    ws: Workspace,
+}
+
+impl SimulationSession {
+    /// Builds a session for `ckt`: resolves the stamp plan and allocates
+    /// the solver workspace.
+    #[must_use]
+    pub fn new(ckt: Circuit) -> Self {
+        let plan = StampPlan::build(&ckt);
+        let ws = Workspace::for_plan(&plan);
+        Self { ckt, plan, ws }
+    }
+
+    /// The session's circuit.
+    #[must_use]
+    pub fn circuit(&self) -> &Circuit {
+        &self.ckt
+    }
+
+    /// Mutable access to the circuit, for retuning waveforms or device
+    /// state between runs. Structural edits (new devices or nodes) cause
+    /// a plan rebuild on the next analysis.
+    pub fn circuit_mut(&mut self) -> &mut Circuit {
+        &mut self.ckt
+    }
+
+    /// Consumes the session, returning the circuit (with whatever MTJ
+    /// state the analyses left it in).
+    #[must_use]
+    pub fn into_circuit(self) -> Circuit {
+        self.ckt
+    }
+
+    /// Total solver work since the session was created (or since
+    /// [`SimulationSession::reset_stats`]).
+    #[must_use]
+    pub fn stats(&self) -> SolverStats {
+        self.ws.stats
+    }
+
+    /// Zeroes the cumulative work counters.
+    pub fn reset_stats(&mut self) {
+        self.ws.stats = SolverStats::default();
+    }
+
+    fn refresh(&mut self) {
+        if self.plan.is_stale(&self.ckt) {
+            let stats = self.ws.stats;
+            self.plan = StampPlan::build(&self.ckt);
+            self.ws = Workspace::for_plan(&self.plan);
+            self.ws.stats = stats;
+        }
+    }
+
+    /// Solves the DC operating point (see [`op`](super::op)).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`op`](super::op).
+    pub fn op(&mut self) -> Result<OpResult, SpiceError> {
+        self.refresh();
+        newton::op_core(&self.plan, &self.ckt, &mut self.ws)
+    }
+
+    /// Sweeps the DC value of the named voltage source (see
+    /// [`dc_sweep`](super::dc_sweep)).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`dc_sweep`](super::dc_sweep).
+    pub fn dc_sweep(&mut self, source: &str, values: &[f64]) -> Result<Vec<OpResult>, SpiceError> {
+        self.refresh();
+        newton::run_dc_sweep(&self.plan, &mut self.ckt, &mut self.ws, source, values)
+    }
+
+    /// Runs a transient analysis with default options (see
+    /// [`transient`](super::transient)).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`transient`](super::transient).
+    pub fn transient(&mut self, stop: Time, step: Time) -> Result<TransientResult, SpiceError> {
+        self.transient_with_options(stop, step, TransientOptions::default())
+    }
+
+    /// Runs a transient analysis (see
+    /// [`transient_with_options`](super::transient_with_options)).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`transient_with_options`](super::transient_with_options).
+    pub fn transient_with_options(
+        &mut self,
+        stop: Time,
+        step: Time,
+        options: TransientOptions,
+    ) -> Result<TransientResult, SpiceError> {
+        self.refresh();
+        transient::run(&self.plan, &mut self.ckt, &mut self.ws, stop, step, options)
+    }
+}

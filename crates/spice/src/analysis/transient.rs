@@ -1,0 +1,164 @@
+//! Transient analysis loop over a prepared plan and workspace.
+//!
+//! Numerically identical to the original engine (see
+//! [`super::reference`]): the same companion models, breakpoint
+//! alignment, step halving and post-step MTJ advance — but the
+//! capacitor histories live in the workspace (no per-step clone of the
+//! companion list), the MTJ terminal indices come pre-resolved from the
+//! plan (no per-step device scan), and every Newton solve runs in the
+//! reused buffers.
+
+use units::{Current, Time};
+
+use crate::circuit::Circuit;
+use crate::device::Device;
+use crate::error::SpiceError;
+use crate::result::{MtjEvent, TransientResult};
+
+use super::assembly::{vof, Companions, StampPlan};
+use super::newton::{newton, solve_op_from_zero};
+use super::session::Workspace;
+use super::{StartCondition, TransientOptions, GMIN_FLOOR};
+
+/// Runs a transient from 0 to `stop` with nominal step `step` against a
+/// prepared plan and workspace (see
+/// [`transient_with_options`](super::transient_with_options) for the
+/// semantics).
+pub(super) fn run(
+    plan: &StampPlan,
+    ckt: &mut Circuit,
+    ws: &mut Workspace,
+    stop: Time,
+    step: Time,
+    options: TransientOptions,
+) -> Result<TransientResult, SpiceError> {
+    let stop_s = stop.seconds();
+    let dt_nominal = step.seconds();
+    if stop_s <= 0.0 || dt_nominal <= 0.0 || stop_s.is_nan() || dt_nominal.is_nan() {
+        return Err(SpiceError::InvalidAnalysis {
+            reason: format!("stop ({stop}) and step ({step}) must be positive"),
+        });
+    }
+    if dt_nominal > stop_s {
+        return Err(SpiceError::InvalidAnalysis {
+            reason: format!("step ({step}) exceeds the analysis window ({stop})"),
+        });
+    }
+
+    let stats_before = ws.stats;
+    let (mut bufs, cap_states) = ws.split();
+
+    // Initial state.
+    match options.start {
+        StartCondition::OperatingPoint => solve_op_from_zero(plan, ckt, &mut bufs, 0.0)?,
+        StartCondition::Zero => bufs.zero_x(plan.n_unknowns),
+    }
+
+    // Reset capacitor histories (explicit caps + MOSFET parasitics were
+    // flattened into the plan) to the initial node voltages.
+    cap_states.clear();
+    cap_states.resize(plan.caps.len(), super::assembly::CapState::default());
+    for (cap, state) in plan.caps.iter().zip(cap_states.iter_mut()) {
+        state.v_prev = vof(bufs.x, cap.ia) - vof(bufs.x, cap.ib);
+    }
+
+    // Result storage.
+    let mut recorder = TransientResult::recorder(ckt);
+    recorder.push(0.0, bufs.x, ckt);
+    let mut events: Vec<MtjEvent> = Vec::new();
+
+    let mut t = 0.0_f64;
+    while t < stop_s - 1e-18 {
+        // Candidate step: nominal, clipped to breakpoints and the window.
+        let mut dt = dt_nominal.min(stop_s - t);
+        if let Some(bp) = next_breakpoint(plan, ckt, t) {
+            if bp > t + 1e-18 && bp < t + dt {
+                dt = bp - t;
+            }
+        }
+
+        // Solve with step halving on non-convergence.
+        let mut halvings = 0;
+        let dt_used = loop {
+            bufs.save_x();
+            let companions = Companions {
+                states: cap_states,
+                integrator: options.integrator,
+                dt,
+            };
+            match newton(
+                plan,
+                ckt,
+                &mut bufs,
+                "tran",
+                t + dt,
+                GMIN_FLOOR,
+                Some(&companions),
+                options.max_newton_iterations,
+            ) {
+                Ok(()) => {
+                    bufs.stats.accepted_steps += 1;
+                    break dt;
+                }
+                Err(e) => {
+                    bufs.stats.rejected_steps += 1;
+                    halvings += 1;
+                    if halvings > options.max_step_halvings {
+                        return Err(e);
+                    }
+                    bufs.stats.step_halvings += 1;
+                    bufs.restore_x();
+                    dt *= 0.5;
+                }
+            }
+        };
+        t += dt_used;
+
+        // Update capacitor history.
+        for (cap, state) in plan.caps.iter().zip(cap_states.iter_mut()) {
+            let v_now = vof(bufs.x, cap.ia) - vof(bufs.x, cap.ib);
+            let i_now = match options.integrator {
+                super::Integrator::BackwardEuler => cap.farads / dt_used * (v_now - state.v_prev),
+                super::Integrator::Trapezoidal => {
+                    2.0 * cap.farads / dt_used * (v_now - state.v_prev) - state.i_prev
+                }
+            };
+            state.v_prev = v_now;
+            state.i_prev = i_now;
+        }
+
+        // Advance MTJ magnetisation from the solved branch currents; the
+        // terminal indices were resolved once at plan build.
+        for slot in &plan.mtjs {
+            let bias = vof(bufs.x, slot.ia) - vof(bufs.x, slot.ib);
+            if let Device::Mtj { name, device, .. } = &mut ckt.devices_mut()[slot.dev] {
+                let r = device.resistance(units::Voltage::from_volts(bias));
+                let i = Current::from_amps(bias / r.ohms());
+                if device.advance(i, Time::from_seconds(dt_used)) {
+                    events.push(MtjEvent {
+                        time: Time::from_seconds(t),
+                        device: name.clone(),
+                        state: device.state(),
+                    });
+                }
+            }
+        }
+
+        recorder.push(t, bufs.x, ckt);
+    }
+
+    Ok(recorder.finish(events, *bufs.stats - stats_before))
+}
+
+/// Earliest source breakpoint strictly after `t`, across all sources.
+fn next_breakpoint(plan: &StampPlan, ckt: &Circuit, t: f64) -> Option<f64> {
+    plan.wave_devs
+        .iter()
+        .filter_map(|&dev| match &ckt.devices()[dev] {
+            Device::VoltageSource { wave, .. } | Device::CurrentSource { wave, .. } => {
+                wave.next_breakpoint(t)
+            }
+            _ => None,
+        })
+        .min_by(|a, b| a.partial_cmp(b).expect("breakpoints are finite"))
+}

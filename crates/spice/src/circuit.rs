@@ -47,6 +47,19 @@ pub struct Circuit {
     vsource_count: usize,
 }
 
+/// The mutable run state of a [`Circuit`], captured by
+/// [`Circuit::snapshot`]: MTJ device state and source waveforms, keyed
+/// by device index.
+///
+/// Everything else in a circuit (topology, passive values, MOSFET
+/// geometry) is immutable during analysis, so this is all that needs
+/// saving to replay a simulation from the same starting point.
+#[derive(Debug, Clone)]
+pub struct CircuitSnapshot {
+    mtjs: Vec<(usize, Mtj)>,
+    waves: Vec<(usize, SourceWaveform)>,
+}
+
 impl Circuit {
     /// The ground node.
     pub const GROUND: NodeId = NodeId::GROUND;
@@ -134,7 +147,9 @@ impl Circuit {
     #[must_use]
     pub fn mtj_state(&self, name: &str) -> Option<MtjState> {
         self.devices.iter().find_map(|d| match d {
-            Device::Mtj { name: n, device, .. } if n == name => Some(device.state()),
+            Device::Mtj {
+                name: n, device, ..
+            } if n == name => Some(device.state()),
             _ => None,
         })
     }
@@ -147,7 +162,10 @@ impl Circuit {
     /// Returns [`SpiceError::UnknownTrace`] if no MTJ has that name.
     pub fn set_mtj_state(&mut self, name: &str, state: MtjState) -> Result<(), SpiceError> {
         for d in &mut self.devices {
-            if let Device::Mtj { name: n, device, .. } = d {
+            if let Device::Mtj {
+                name: n, device, ..
+            } = d
+            {
                 if n == name {
                     device.set_state(state);
                     return Ok(());
@@ -386,6 +404,82 @@ impl Circuit {
         Ok(())
     }
 
+    /// Sets the waveform of the named voltage or current source.
+    ///
+    /// This is the cheap way to re-aim an existing circuit at a new
+    /// stimulus between [`SimulationSession`](crate::SimulationSession)
+    /// runs, instead of rebuilding the whole circuit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::UnknownTrace`] if no source has that name.
+    pub fn set_source_waveform(
+        &mut self,
+        name: &str,
+        wave: SourceWaveform,
+    ) -> Result<(), SpiceError> {
+        for d in &mut self.devices {
+            match d {
+                Device::VoltageSource {
+                    name: n, wave: w, ..
+                }
+                | Device::CurrentSource {
+                    name: n, wave: w, ..
+                } if n == name => {
+                    *w = wave;
+                    return Ok(());
+                }
+                _ => {}
+            }
+        }
+        Err(SpiceError::UnknownTrace { name: name.into() })
+    }
+
+    /// Captures the circuit's mutable run state: every MTJ device (full
+    /// magnetisation state, not just P/AP) and every source waveform.
+    ///
+    /// Together with [`Circuit::restore`] this brackets a simulation so
+    /// the same circuit — and a [`SimulationSession`](crate::SimulationSession)
+    /// wrapping it — can be reused for the next run without rebuilding:
+    /// analyses mutate nothing else.
+    #[must_use]
+    pub fn snapshot(&self) -> CircuitSnapshot {
+        let mut mtjs = Vec::new();
+        let mut waves = Vec::new();
+        for (i, d) in self.devices.iter().enumerate() {
+            match d {
+                Device::Mtj { device, .. } => mtjs.push((i, device.clone())),
+                Device::VoltageSource { wave, .. } | Device::CurrentSource { wave, .. } => {
+                    waves.push((i, wave.clone()));
+                }
+                _ => {}
+            }
+        }
+        CircuitSnapshot { mtjs, waves }
+    }
+
+    /// Restores the run state captured by [`Circuit::snapshot`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot was taken from a different circuit (device
+    /// indices or kinds no longer line up).
+    pub fn restore(&mut self, snap: &CircuitSnapshot) {
+        for (i, mtj) in &snap.mtjs {
+            match self.devices.get_mut(*i) {
+                Some(Device::Mtj { device, .. }) => *device = mtj.clone(),
+                _ => panic!("snapshot does not match this circuit"),
+            }
+        }
+        for (i, wave) in &snap.waves {
+            match self.devices.get_mut(*i) {
+                Some(Device::VoltageSource { wave: w, .. })
+                | Some(Device::CurrentSource { wave: w, .. }) => *w = wave.clone(),
+                _ => panic!("snapshot does not match this circuit"),
+            }
+        }
+    }
+
     /// Size of the MNA unknown vector: non-ground nodes plus one branch
     /// current per voltage source.
     #[must_use]
@@ -490,13 +584,106 @@ mod tests {
         let mut c = Circuit::new();
         let a = c.node("a");
         let t = Technology::tsmc40lp();
-        c.add_nmos("M1", a, a, Circuit::GROUND, &t, Length::from_nano_meters(200.0))
-            .expect("M1");
-        c.add_pmos("M2", a, a, Circuit::GROUND, &t, Length::from_nano_meters(200.0))
-            .expect("M2");
+        c.add_nmos(
+            "M1",
+            a,
+            a,
+            Circuit::GROUND,
+            &t,
+            Length::from_nano_meters(200.0),
+        )
+        .expect("M1");
+        c.add_pmos(
+            "M2",
+            a,
+            a,
+            Circuit::GROUND,
+            &t,
+            Length::from_nano_meters(200.0),
+        )
+        .expect("M2");
         c.add_resistor("R1", a, Circuit::GROUND, Resistance::from_ohms(5.0))
             .expect("R1");
         assert_eq!(c.transistor_count(), 2);
+    }
+
+    #[test]
+    fn source_waveform_can_be_retargeted() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.add_voltage_source("V1", a, Circuit::GROUND, SourceWaveform::Dc(1.0))
+            .expect("V1");
+        c.add_current_source("I1", a, Circuit::GROUND, SourceWaveform::Dc(1e-6))
+            .expect("I1");
+        c.set_source_waveform("V1", SourceWaveform::Dc(2.0))
+            .expect("retarget V1");
+        c.set_source_waveform("I1", SourceWaveform::Dc(2e-6))
+            .expect("retarget I1");
+        assert!(c
+            .set_source_waveform("nope", SourceWaveform::Dc(0.0))
+            .is_err());
+        let waves: Vec<_> = c
+            .devices()
+            .iter()
+            .filter_map(|d| match d {
+                Device::VoltageSource { wave, .. } | Device::CurrentSource { wave, .. } => {
+                    Some(wave.clone())
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            waves,
+            vec![SourceWaveform::Dc(2.0), SourceWaveform::Dc(2e-6)]
+        );
+    }
+
+    #[test]
+    fn snapshot_restores_mtj_state_and_waveforms() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let params = MtjParams::date2018();
+        c.add_voltage_source("V1", a, Circuit::GROUND, SourceWaveform::Dc(1.0))
+            .expect("V1");
+        c.add_mtj(
+            "X1",
+            a,
+            Circuit::GROUND,
+            Mtj::new(params, MtjState::Parallel, WritePolarity::default()),
+        )
+        .expect("X1");
+        let snap = c.snapshot();
+        c.set_mtj_state("X1", MtjState::AntiParallel).expect("flip");
+        c.set_source_waveform("V1", SourceWaveform::Dc(0.0))
+            .expect("retune");
+        c.restore(&snap);
+        assert_eq!(c.mtj_state("X1"), Some(MtjState::Parallel));
+        let wave = c
+            .devices()
+            .iter()
+            .find_map(|d| match d {
+                Device::VoltageSource { wave, .. } => Some(wave.clone()),
+                _ => None,
+            })
+            .expect("V1 present");
+        assert_eq!(wave, SourceWaveform::Dc(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "snapshot does not match this circuit")]
+    fn restoring_a_foreign_snapshot_panics() {
+        let mut donor = Circuit::new();
+        let a = donor.node("a");
+        donor
+            .add_voltage_source("V1", a, Circuit::GROUND, SourceWaveform::Dc(1.0))
+            .expect("V1");
+        let snap = donor.snapshot();
+        let mut other = Circuit::new();
+        let b = other.node("b");
+        other
+            .add_resistor("R1", b, Circuit::GROUND, Resistance::from_ohms(1.0))
+            .expect("R1");
+        other.restore(&snap);
     }
 
     #[test]

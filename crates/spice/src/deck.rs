@@ -85,7 +85,13 @@ pub fn write(ckt: &Circuit, title: &str) -> String {
             Device::Capacitor { name, a, b, farads } => {
                 let _ = writeln!(out, "{name} {} {} {farads:e}", node(*a), node(*b));
             }
-            Device::VoltageSource { name, pos, neg, wave, .. } => {
+            Device::VoltageSource {
+                name,
+                pos,
+                neg,
+                wave,
+                ..
+            } => {
                 let _ = writeln!(
                     out,
                     "{name} {} {} {}",
@@ -94,7 +100,12 @@ pub fn write(ckt: &Circuit, title: &str) -> String {
                     waveform_text(wave)
                 );
             }
-            Device::CurrentSource { name, pos, neg, wave } => {
+            Device::CurrentSource {
+                name,
+                pos,
+                neg,
+                wave,
+            } => {
                 let _ = writeln!(
                     out,
                     "{name} {} {} {}",
@@ -103,7 +114,15 @@ pub fn write(ckt: &Circuit, title: &str) -> String {
                     waveform_text(wave)
                 );
             }
-            Device::Mosfet { name, d, g, s, model, w, l } => {
+            Device::Mosfet {
+                name,
+                d,
+                g,
+                s,
+                model,
+                w,
+                l,
+            } => {
                 let kind = match model.kind {
                     MosfetKind::Nmos => "NMOS",
                     MosfetKind::Pmos => "PMOS",
@@ -138,7 +157,14 @@ pub fn write(ckt: &Circuit, title: &str) -> String {
 fn waveform_text(wave: &SourceWaveform) -> String {
     match wave {
         SourceWaveform::Dc(v) => format!("DC {v}"),
-        SourceWaveform::Pulse { v0, v1, delay, rise, fall, width } => {
+        SourceWaveform::Pulse {
+            v0,
+            v1,
+            delay,
+            rise,
+            fall,
+            width,
+        } => {
             format!("PULSE({v0} {v1} {delay:e} {rise:e} {fall:e} {width:e})")
         }
         SourceWaveform::Pwl(points) => {
@@ -208,8 +234,7 @@ pub fn parse(text: &str, context: &DeckContext) -> Result<Circuit, SpiceError> {
                 }
                 let pos = ckt.node(tokens[1]);
                 let neg = ckt.node(tokens[2]);
-                let wave = parse_waveform(&tokens[3..])
-                    .ok_or_else(|| bad(line, "bad waveform"))?;
+                let wave = parse_waveform(&tokens[3..]).ok_or_else(|| bad(line, "bad waveform"))?;
                 if first.eq_ignore_ascii_case(&'V') {
                     ckt.add_voltage_source(name, pos, neg, wave)?;
                 } else {
@@ -229,14 +254,8 @@ pub fn parse(text: &str, context: &DeckContext) -> Result<Circuit, SpiceError> {
                     other => return Err(bad(line, &format!("unknown model {other}"))),
                 };
                 let params = parse_params(&tokens[5..]);
-                let w = params
-                    .get("W")
-                    .copied()
-                    .unwrap_or(200e-9);
-                let l = params
-                    .get("L")
-                    .copied()
-                    .unwrap_or(context.tech.l_min);
+                let w = params.get("W").copied().unwrap_or(200e-9);
+                let l = params.get("L").copied().unwrap_or(context.tech.l_min);
                 ckt.add_mosfet(
                     name,
                     d,
@@ -431,10 +450,22 @@ R2 mid 0 3k
         .expect("V1");
         ckt.add_resistor("R1", a, b, Resistance::from_kilo_ohms(5.0))
             .expect("R1");
-        ckt.add_capacitor("C1", b, Circuit::GROUND, Capacitance::from_femto_farads(2.0))
-            .expect("C1");
-        ckt.add_nmos("M1", b, a, Circuit::GROUND, &tech, Length::from_nano_meters(200.0))
-            .expect("M1");
+        ckt.add_capacitor(
+            "C1",
+            b,
+            Circuit::GROUND,
+            Capacitance::from_femto_farads(2.0),
+        )
+        .expect("C1");
+        ckt.add_nmos(
+            "M1",
+            b,
+            a,
+            Circuit::GROUND,
+            &tech,
+            Length::from_nano_meters(200.0),
+        )
+        .expect("M1");
         ckt.add_mtj(
             "MTJ1",
             a,

@@ -24,6 +24,14 @@
 //! and interrogated through [`TransientResult`] and the measurement
 //! helpers in [`measure`] (threshold crossings, delays, supply energy).
 //!
+//! Repeated simulation of one circuit — corner sweeps, margin scans,
+//! restore/store characterization — should go through a
+//! [`SimulationSession`], which keeps the solver workspace (MNA matrix,
+//! LU scratch, device stamp plan, capacitor histories) alive between
+//! runs and reports the work done via [`SolverStats`]. Use
+//! [`Circuit::snapshot`] / [`Circuit::restore`] to rewind MTJ state and
+//! source waveforms between runs.
+//!
 //! # Examples
 //!
 //! An RC low-pass step response, checked against the analytic solution:
@@ -66,9 +74,10 @@ pub mod result;
 pub mod source;
 pub mod vcd;
 
-pub use circuit::{Circuit, NodeId};
+pub use analysis::{SimulationSession, SolverStats};
+pub use circuit::{Circuit, CircuitSnapshot, NodeId};
 pub use device::Device;
 pub use error::SpiceError;
 pub use mosfet::{CmosCorner, MosfetKind, MosfetModel, Technology};
-pub use result::{TransientResult, Trace};
+pub use result::{Trace, TransientResult};
 pub use source::SourceWaveform;

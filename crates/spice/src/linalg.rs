@@ -3,12 +3,46 @@
 //! Latch-scale circuits produce systems of a few dozen unknowns, where a
 //! dense LU factorization with partial pivoting is both the simplest and
 //! the fastest option (no fill-in bookkeeping, cache-friendly row access).
+//! MNA matrices are nonetheless *structurally* sparse — a handful of
+//! entries per row — so the elimination skips updates whose operands are
+//! exactly zero: those are value-level no-ops, and dropping them leaves
+//! every computed result unchanged while cutting most of the O(n³) work.
 
 /// A dense, row-major square matrix.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DenseMatrix {
     n: usize,
     data: Vec<f64>,
+}
+
+/// Reusable working storage for [`DenseMatrix::solve_into`] and
+/// [`DenseMatrix::solve_in_place`].
+///
+/// Holds the factorization's working copy of the matrix and the pivot
+/// row's nonzero-column index list, so repeated solves (one per Newton
+/// iteration, thousands per transient) perform no heap allocation after
+/// the first call.
+#[derive(Debug, Clone, Default)]
+pub struct LuScratch {
+    lu: Vec<f64>,
+    nonzero_cols: Vec<u32>,
+}
+
+impl LuScratch {
+    /// Creates an empty scratch buffer; it grows on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a scratch buffer pre-sized for an `n × n` system.
+    #[must_use]
+    pub fn for_dim(n: usize) -> Self {
+        Self {
+            lu: Vec::with_capacity(n * n),
+            nonzero_cols: Vec::with_capacity(n),
+        }
+    }
 }
 
 impl DenseMatrix {
@@ -64,67 +98,80 @@ impl DenseMatrix {
         self.data.fill(0.0);
     }
 
+    /// Borrows the raw row-major entries.
+    ///
+    /// Crate-internal: lets the reference engine copy the matrix at the
+    /// same cost the seed solver paid (`data.clone()`), keeping it an
+    /// honest baseline.
+    #[must_use]
+    pub(crate) fn data(&self) -> &[f64] {
+        &self.data
+    }
+
     /// Solves `A·x = b` via LU with partial pivoting without destroying
     /// `self`.
     ///
     /// Returns `None` if the matrix is numerically singular.
+    ///
+    /// This is the allocating convenience wrapper over
+    /// [`DenseMatrix::solve_into`]; solver loops should hold a
+    /// [`LuScratch`] and call `solve_into` (or [`DenseMatrix::solve_in_place`])
+    /// instead.
     ///
     /// # Panics
     ///
     /// Panics if `b.len()` differs from the matrix dimension.
     #[must_use]
     pub fn solve(&self, b: &[f64]) -> Option<Vec<f64>> {
-        assert_eq!(b.len(), self.n, "rhs length mismatch");
-        const PIVOT_EPS: f64 = 1e-30;
-        let n = self.n;
-        let mut lu = self.data.clone();
-        let mut x: Vec<f64> = b.to_vec();
+        let mut scratch = LuScratch::new();
+        let mut x = Vec::new();
+        self.solve_into(b, &mut scratch, &mut x).then_some(x)
+    }
 
-        for k in 0..n {
-            // Pivot selection.
-            let mut pivot_row = k;
-            let mut pivot_val = lu[k * n + k].abs();
-            for r in (k + 1)..n {
-                let v = lu[r * n + k].abs();
-                if v > pivot_val {
-                    pivot_val = v;
-                    pivot_row = r;
-                }
-            }
-            if pivot_val < PIVOT_EPS {
-                return None;
-            }
-            if pivot_row != k {
-                for j in 0..n {
-                    lu.swap(k * n + j, pivot_row * n + j);
-                }
-                x.swap(k, pivot_row);
-            }
-            // Elimination of rows below k, RHS included.
-            let pivot = lu[k * n + k];
-            for r in (k + 1)..n {
-                let factor = lu[r * n + k] / pivot;
-                if factor == 0.0 {
-                    continue;
-                }
-                for j in k..n {
-                    lu[r * n + j] -= factor * lu[k * n + j];
-                }
-                x[r] -= factor * x[k];
-            }
-        }
-        // Back substitution.
-        for k in (0..n).rev() {
-            let mut acc = x[k];
-            for j in (k + 1)..n {
-                acc -= lu[k * n + j] * x[j];
-            }
-            x[k] = acc / lu[k * n + k];
-        }
-        if x.iter().any(|v| !v.is_finite()) {
-            return None;
-        }
-        Some(x)
+    /// Solves `A·x = b` into `x`, reusing `scratch` for the factorization
+    /// working copy — no allocation once the scratch buffers have grown
+    /// to the system size.
+    ///
+    /// Returns `false` if the matrix is numerically singular (in which
+    /// case the contents of `x` are unspecified). Every arithmetic
+    /// operation that is actually performed — pivot selection,
+    /// elimination, back substitution — matches the original allocating
+    /// solver; the only difference is that updates whose pivot-row
+    /// operand is exactly zero are skipped, which leaves all values
+    /// unchanged (up to the sign of zero), so results are reproducible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` differs from the matrix dimension.
+    pub fn solve_into(&self, b: &[f64], scratch: &mut LuScratch, x: &mut Vec<f64>) -> bool {
+        assert_eq!(b.len(), self.n, "rhs length mismatch");
+        scratch.lu.clear();
+        scratch.lu.extend_from_slice(&self.data);
+        x.clear();
+        x.extend_from_slice(b);
+        lu_solve_core(&mut scratch.lu, self.n, &mut scratch.nonzero_cols, x)
+    }
+
+    /// Solves `A·x = b` into `x`, factoring `self` **in place** — on
+    /// return the matrix holds the (partially pivoted) elimination
+    /// residue and must be re-stamped before the next use.
+    ///
+    /// This is the hot-loop entry point: it skips the `n²` working-copy
+    /// memcpy that [`DenseMatrix::solve_into`] pays per call, which
+    /// matters when the matrix is re-assembled from scratch every Newton
+    /// iteration anyway. Arithmetic is identical to `solve_into`.
+    ///
+    /// Returns `false` if the matrix is numerically singular (in which
+    /// case the contents of `x` are unspecified).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` differs from the matrix dimension.
+    pub fn solve_in_place(&mut self, b: &[f64], scratch: &mut LuScratch, x: &mut Vec<f64>) -> bool {
+        assert_eq!(b.len(), self.n, "rhs length mismatch");
+        x.clear();
+        x.extend_from_slice(b);
+        lu_solve_core(&mut self.data, self.n, &mut scratch.nonzero_cols, x)
     }
 
     /// Computes `A·x` (used by tests and residual checks).
@@ -136,13 +183,86 @@ impl DenseMatrix {
     pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.n, "vector length mismatch");
         (0..self.n)
-            .map(|r| {
-                (0..self.n)
-                    .map(|c| self.data[r * self.n + c] * x[c])
-                    .sum()
-            })
+            .map(|r| (0..self.n).map(|c| self.data[r * self.n + c] * x[c]).sum())
             .collect()
     }
+}
+
+/// LU-with-partial-pivoting factorization and solve, operating directly
+/// on a row-major `n × n` buffer with the RHS pre-loaded into `x`.
+///
+/// MNA matrices carry only a handful of nonzeros per row, so before
+/// eliminating below each pivot the core records the pivot row's
+/// nonzero columns (right of the diagonal) in `nz` and restricts the
+/// update loop to them. A skipped update would have computed
+/// `a[r][j] -= factor * 0.0`, a value-level no-op, so every surviving
+/// operation — and therefore every result — matches the textbook dense
+/// loop. The subdiagonal residue `a[r][k]` is likewise never read again
+/// (pivot searches only look at columns > k) and is left unwritten.
+///
+/// Back substitution stays dense: it is O(n²) and keeps non-finite
+/// values flowing into the final singularity check exactly as before.
+///
+/// Returns `false` if the matrix is numerically singular.
+fn lu_solve_core(lu: &mut [f64], n: usize, nz: &mut Vec<u32>, x: &mut [f64]) -> bool {
+    const PIVOT_EPS: f64 = 1e-30;
+    debug_assert_eq!(lu.len(), n * n);
+    debug_assert_eq!(x.len(), n);
+    for k in 0..n {
+        // Pivot selection.
+        let mut pivot_row = k;
+        let mut pivot_val = lu[k * n + k].abs();
+        for (off, row) in lu[(k + 1) * n..].chunks_exact(n).enumerate() {
+            let v = row[k].abs();
+            if v > pivot_val {
+                pivot_val = v;
+                pivot_row = k + 1 + off;
+            }
+        }
+        if pivot_val < PIVOT_EPS {
+            return false;
+        }
+        if pivot_row != k {
+            for j in 0..n {
+                lu.swap(k * n + j, pivot_row * n + j);
+            }
+            x.swap(k, pivot_row);
+        }
+        // Elimination of rows below k, RHS folded in, restricted to the
+        // pivot row's nonzero columns.
+        let (upper, lower) = lu.split_at_mut((k + 1) * n);
+        let row_k = &upper[k * n..(k + 1) * n];
+        let pivot = row_k[k];
+        nz.clear();
+        for (j, &v) in row_k.iter().enumerate().skip(k + 1) {
+            if v != 0.0 {
+                nz.push(j as u32);
+            }
+        }
+        let (x_upper, x_lower) = x.split_at_mut(k + 1);
+        let x_k = x_upper[k];
+        for (row_r, x_r) in lower.chunks_exact_mut(n).zip(x_lower.iter_mut()) {
+            let factor = row_r[k] / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            for &j in nz.iter() {
+                let j = j as usize;
+                row_r[j] -= factor * row_k[j];
+            }
+            *x_r -= factor * x_k;
+        }
+    }
+    // Back substitution.
+    for k in (0..n).rev() {
+        let row_k = &lu[k * n..(k + 1) * n];
+        let mut acc = x[k];
+        for (&aj, &xj) in row_k[k + 1..].iter().zip(x[k + 1..].iter()) {
+            acc -= aj * xj;
+        }
+        x[k] = acc / row_k[k];
+    }
+    x.iter().all(|v| v.is_finite())
 }
 
 #[cfg(test)]
@@ -237,6 +357,60 @@ mod tests {
     fn wrong_rhs_length_panics() {
         let m = DenseMatrix::zeros(2);
         let _ = m.solve(&[1.0]);
+    }
+
+    #[test]
+    fn solve_into_matches_solve_bit_for_bit() {
+        // An awkwardly scaled system that forces pivoting and a zero
+        // fill-in skip, exercising every branch of the elimination.
+        let m = from_rows(&[
+            &[0.0, 2.0, 1.0, 0.0],
+            &[1e-6, -1.0, 0.5, 0.0],
+            &[3.0, 0.25, -2.0, 1e-9],
+            &[0.0, 0.0, 1e3, 4.0],
+        ]);
+        let b = [1.0, -2.5, 3e-3, 0.7];
+        let via_alloc = m.solve(&b).expect("nonsingular");
+        let mut scratch = LuScratch::for_dim(4);
+        let mut x = Vec::new();
+        assert!(m.solve_into(&b, &mut scratch, &mut x));
+        assert_eq!(via_alloc, x, "solve and solve_into must agree exactly");
+        // Reuse the same scratch for a second system of the same size.
+        let b2 = [0.0, 1.0, 0.0, -1.0];
+        let mut x2 = Vec::new();
+        assert!(m.solve_into(&b2, &mut scratch, &mut x2));
+        assert_eq!(m.solve(&b2).expect("nonsingular"), x2);
+    }
+
+    #[test]
+    fn solve_in_place_matches_solve_and_consumes_matrix() {
+        let rows: &[&[f64]] = &[
+            &[0.0, 2.0, 1.0, 0.0],
+            &[1e-6, -1.0, 0.5, 0.0],
+            &[3.0, 0.25, -2.0, 1e-9],
+            &[0.0, 0.0, 1e3, 4.0],
+        ];
+        let b = [1.0, -2.5, 3e-3, 0.7];
+        let pristine = from_rows(rows);
+        let via_alloc = pristine.solve(&b).expect("nonsingular");
+        let mut m = from_rows(rows);
+        let mut scratch = LuScratch::for_dim(4);
+        let mut x = Vec::new();
+        assert!(m.solve_in_place(&b, &mut scratch, &mut x));
+        assert_eq!(via_alloc, x, "solve and solve_in_place must agree exactly");
+        // The matrix now holds elimination residue, not A.
+        assert_ne!(m, pristine);
+        // Singular systems are still detected.
+        let mut s = from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(!s.solve_in_place(&[1.0, 2.0], &mut scratch, &mut x));
+    }
+
+    #[test]
+    fn solve_into_reports_singularity() {
+        let m = from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        let mut scratch = LuScratch::new();
+        let mut x = Vec::new();
+        assert!(!m.solve_into(&[1.0, 2.0], &mut scratch, &mut x));
     }
 
     #[test]

@@ -63,7 +63,11 @@ pub fn crossings(times: &[f64], values: &[f64], threshold: f64, edge: Edge) -> V
             Edge::Either => rising || falling,
         };
         if hit {
-            let frac = if v1 == v0 { 1.0 } else { (threshold - v0) / (v1 - v0) };
+            let frac = if v1 == v0 {
+                1.0
+            } else {
+                (threshold - v0) / (v1 - v0)
+            };
             out.push(times[i - 1] + frac * (times[i] - times[i - 1]));
         }
     }
@@ -102,13 +106,7 @@ pub fn integrate(times: &[f64], values: &[f64], from: f64, to: f64) -> f64 {
 ///
 /// Panics if the slices have different lengths.
 #[must_use]
-pub fn integrate_product(
-    times: &[f64],
-    a: &[f64],
-    b: Option<&[f64]>,
-    from: f64,
-    to: f64,
-) -> f64 {
+pub fn integrate_product(times: &[f64], a: &[f64], b: Option<&[f64]>, from: f64, to: f64) -> f64 {
     assert_eq!(times.len(), a.len(), "trace slices must be parallel");
     if let Some(b) = b {
         assert_eq!(times.len(), b.len(), "trace slices must be parallel");

@@ -257,9 +257,9 @@ impl Technology {
                 kp: 320e-6,
                 n_slope: 1.35,
                 lambda: 0.12,
-                cox_per_area: 0.018,      // 18 fF/µm² (LP oxide)
-                cov_per_width: 0.25e-9,   // 0.25 fF/µm
-                cj_per_width: 0.25e-9,    // 0.25 fF/µm (raised S/D)
+                cox_per_area: 0.018,    // 18 fF/µm² (LP oxide)
+                cov_per_width: 0.25e-9, // 0.25 fF/µm
+                cj_per_width: 0.25e-9,  // 0.25 fF/µm (raised S/D)
             },
             pmos: MosfetModel {
                 kind: MosfetKind::Pmos,
@@ -414,12 +414,8 @@ mod tests {
     #[test]
     fn corners_order_leakage_and_drive() {
         let t = tech();
-        let leak = |c: CmosCorner| {
-            t.at_corner(c).nmos.evaluate(0.0, 1.1, 0.0, W, L).id
-        };
-        let drive = |c: CmosCorner| {
-            t.at_corner(c).nmos.evaluate(1.1, 1.1, 0.0, W, L).id
-        };
+        let leak = |c: CmosCorner| t.at_corner(c).nmos.evaluate(0.0, 1.1, 0.0, W, L).id;
+        let drive = |c: CmosCorner| t.at_corner(c).nmos.evaluate(1.1, 1.1, 0.0, W, L).id;
         assert!(leak(CmosCorner::FastFast) > leak(CmosCorner::TypicalTypical));
         assert!(leak(CmosCorner::TypicalTypical) > leak(CmosCorner::SlowSlow));
         assert!(drive(CmosCorner::FastFast) > drive(CmosCorner::SlowSlow));

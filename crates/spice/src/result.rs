@@ -3,6 +3,7 @@
 use mtj::MtjState;
 use units::{Energy, Time};
 
+use crate::analysis::SolverStats;
 use crate::circuit::Circuit;
 use crate::device::Device;
 use crate::error::SpiceError;
@@ -32,6 +33,7 @@ pub struct TransientResult {
     /// index 0 is ground.
     vsource_terminals: Vec<(String, usize, usize)>,
     events: Vec<MtjEvent>,
+    stats: SolverStats,
 }
 
 /// Incremental builder used by the transient engine.
@@ -65,6 +67,7 @@ impl TransientResult {
                 branch_values: vec![Vec::new(); n_branches],
                 vsource_terminals,
                 events: Vec::new(),
+                stats: SolverStats::default(),
             },
             n_nodes,
         }
@@ -91,6 +94,13 @@ impl TransientResult {
     #[must_use]
     pub fn mtj_events(&self) -> &[MtjEvent] {
         &self.events
+    }
+
+    /// Solver work spent producing this transient (zeroed for results
+    /// from the [`reference`](crate::analysis::reference) engine).
+    #[must_use]
+    pub fn solver_stats(&self) -> SolverStats {
+        self.stats
     }
 
     /// Names of all recorded voltage-source branch traces.
@@ -203,8 +213,7 @@ impl TransientResult {
                 .map(|((vp, vn), i)| (vp - vn) * -i)
                 .collect()
         };
-        let joules =
-            measure::integrate(&self.times, &power, from.seconds(), to.seconds());
+        let joules = measure::integrate(&self.times, &power, from.seconds(), to.seconds());
         Ok(Energy::from_joules(joules))
     }
 
@@ -241,8 +250,9 @@ impl TransientRecorder {
         debug_assert_eq!(ckt.node_count() - 1, self.n_nodes);
     }
 
-    pub(crate) fn finish(mut self, events: Vec<MtjEvent>) -> TransientResult {
+    pub(crate) fn finish(mut self, events: Vec<MtjEvent>, stats: SolverStats) -> TransientResult {
         self.result.events = events;
+        self.result.stats = stats;
         self.result
     }
 }
@@ -297,7 +307,10 @@ impl<'a> Trace<'a> {
     /// Largest sample value.
     #[must_use]
     pub fn max(&self) -> f64 {
-        self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.values
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Smallest sample value.
@@ -399,7 +412,11 @@ mod tests {
     fn zero_window_average_power_is_zero() {
         let res = simple_result();
         let p = res
-            .average_supply_power("V1", Time::from_nano_seconds(1.0), Time::from_nano_seconds(1.0))
+            .average_supply_power(
+                "V1",
+                Time::from_nano_seconds(1.0),
+                Time::from_nano_seconds(1.0),
+            )
             .expect("power");
         assert_eq!(p, units::Power::ZERO);
     }

@@ -1,0 +1,156 @@
+//! Allocation discipline of the session engine.
+//!
+//! The workspace-reuse rearchitecture promises that a warmed-up
+//! [`SimulationSession`] performs no per-Newton-iteration and no
+//! per-time-step allocation: the MNA matrix, RHS, iterate vectors, LU
+//! scratch and capacitor histories are all reused, and the old per-step
+//! `caps.clone()` is gone. This test pins that down with a counting
+//! global allocator: the allocations of a warmed-up run must be bounded
+//! by result-recording (which grows amortized), not by solver work.
+//!
+//! The spice *library* forbids `unsafe`; this integration test is a
+//! separate crate, and the allocator shim below is the one place unsafe
+//! is warranted.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use spice::{Circuit, SimulationSession, SourceWaveform, Technology};
+use units::{Capacitance, Length, Time, Voltage};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn count_allocs(f: impl FnOnce()) -> u64 {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    f();
+    ALLOCS.load(Ordering::Relaxed) - before
+}
+
+/// A nonlinear fixture with MOSFET junction capacitors: the circuit the
+/// old engine cloned its flattened capacitor list for on every step.
+fn inverter() -> Circuit {
+    let tech = Technology::tsmc40lp();
+    let mut ckt = Circuit::new();
+    let vdd = ckt.node("vdd");
+    let vin = ckt.node("in");
+    let out = ckt.node("out");
+    ckt.add_voltage_source(
+        "VDD",
+        vdd,
+        Circuit::GROUND,
+        SourceWaveform::dc(Voltage::from_volts(1.1)),
+    )
+    .expect("VDD");
+    ckt.add_voltage_source(
+        "VIN",
+        vin,
+        Circuit::GROUND,
+        SourceWaveform::Pulse {
+            v0: 0.0,
+            v1: 1.1,
+            delay: 100e-12,
+            rise: 50e-12,
+            fall: 50e-12,
+            width: 1e-9,
+        },
+    )
+    .expect("VIN");
+    ckt.add_pmos("MP", out, vin, vdd, &tech, Length::from_nano_meters(400.0))
+        .expect("MP");
+    ckt.add_nmos(
+        "MN",
+        out,
+        vin,
+        Circuit::GROUND,
+        &tech,
+        Length::from_nano_meters(200.0),
+    )
+    .expect("MN");
+    ckt.add_capacitor(
+        "CL",
+        out,
+        Circuit::GROUND,
+        Capacitance::from_femto_farads(5.0),
+    )
+    .expect("CL");
+    ckt
+}
+
+// One test function only: the counter is process-global, and a single
+// test keeps the harness from running other allocating threads
+// concurrently with the measured sections.
+#[test]
+fn warmed_up_session_does_not_allocate_per_iteration_or_per_step() {
+    let mut session = SimulationSession::new(inverter());
+    let stop = Time::from_nano_seconds(2.0);
+    let step = Time::from_pico_seconds(10.0);
+
+    // Warm up: first run sizes every buffer (including the recorder's
+    // initial vectors) and settles lazy one-time allocations.
+    session.transient(stop, step).expect("warm-up transient");
+    session.op().expect("warm-up op");
+
+    // Operating point: the gmin ladder performs dozens of Newton
+    // iterations. The only allocations allowed are the returned
+    // OpResult's vectors and branch-name strings — a handful, far fewer
+    // than one per iteration.
+    session.reset_stats();
+    let op_allocs = count_allocs(|| {
+        session.op().expect("measured op");
+    });
+    let op_stats = session.stats();
+    assert!(
+        op_stats.newton_iterations >= 20,
+        "expected a real gmin ladder, got {} iterations",
+        op_stats.newton_iterations
+    );
+    assert!(
+        op_allocs < op_stats.newton_iterations,
+        "op allocated {op_allocs} times over {} Newton iterations — \
+         the solver core must not allocate per iteration",
+        op_stats.newton_iterations,
+    );
+    assert!(
+        op_allocs <= 16,
+        "op allocated {op_allocs} times; only the OpResult assembly may allocate"
+    );
+
+    // Transient: result recording grows amortized (doubling vectors per
+    // trace), so the budget is logarithmic in samples per trace — far
+    // below one allocation per accepted step, and incompatible with any
+    // per-step capacitor-list clone.
+    session.reset_stats();
+    let transient_allocs = count_allocs(|| {
+        session.transient(stop, step).expect("measured transient");
+    });
+    let tr_stats = session.stats();
+    assert!(
+        tr_stats.accepted_steps >= 150,
+        "expected a real transient, got {} steps",
+        tr_stats.accepted_steps
+    );
+    assert!(
+        transient_allocs < tr_stats.accepted_steps / 2,
+        "transient allocated {transient_allocs} times over {} accepted steps \
+         ({} Newton iterations) — per-step cloning or per-iteration \
+         allocation has crept back in",
+        tr_stats.accepted_steps,
+        tr_stats.newton_iterations,
+    );
+}

@@ -611,7 +611,9 @@ mod tests {
 
     #[test]
     fn sums_accumulate() {
-        let total: Energy = (1..=4).map(|k| Energy::from_femto_joules(f64::from(k))).sum();
+        let total: Energy = (1..=4)
+            .map(|k| Energy::from_femto_joules(f64::from(k)))
+            .sum();
         assert!((total.femto_joules() - 10.0).abs() < EPS);
         let area: Area = [1.0, 2.5]
             .iter()

@@ -18,11 +18,12 @@ struct MachineState {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 144 bits of architectural state → 72 shared 2-bit NV flip-flops.
-    let mut flops: Vec<MultiBitNvFlipFlop> =
-        (0..72).map(|_| MultiBitNvFlipFlop::new()).collect();
+    let mut flops: Vec<MultiBitNvFlipFlop> = (0..72).map(|_| MultiBitNvFlipFlop::new()).collect();
 
     let state = MachineState {
-        registers: [0xBEEF, 0x1234, 0xFFFF, 0x0000, 0xA5A5, 0x5A5A, 0x0F0F, 0xCAFE],
+        registers: [
+            0xBEEF, 0x1234, 0xFFFF, 0x0000, 0xA5A5, 0x5A5A, 0x0F0F, 0xCAFE,
+        ],
         pc: 0x42,
     };
     println!("checkpointing machine state: {state:04X?}");

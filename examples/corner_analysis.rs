@@ -6,7 +6,7 @@
 //! ```
 
 use cells::metrics;
-use mtj::{MtjParams, VariationModel, montecarlo};
+use mtj::{montecarlo, MtjParams, VariationModel};
 use spintronic_ff::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -53,8 +53,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .into_iter()
         .enumerate()
     {
-        let mut config = LatchConfig::default();
-        config.mtj = sample;
+        let config = LatchConfig {
+            mtj: sample,
+            ..LatchConfig::default()
+        };
         let latch = ProposedLatch::new(config);
         let ok = latch
             .simulate_restore([true, false])
@@ -65,9 +67,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             println!("  sample {k}: RESTORE FAILED");
         }
     }
-    println!(
-        "  {} / 20 samples restored correctly",
-        20 - failures
-    );
+    println!("  {} / 20 samples restored correctly", 20 - failures);
     Ok(())
 }

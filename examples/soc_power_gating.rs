@@ -8,7 +8,7 @@
 //! ```
 
 use merge::MergeOptions;
-use netlist::{CellLibrary, benchmarks, verilog};
+use netlist::{benchmarks, verilog, CellLibrary};
 use place::def;
 use place::placer::{self, PlacerOptions};
 use spintronic_ff::prelude::*;

@@ -7,8 +7,8 @@
 //! cargo run --release --example thermal_sweep
 //! ```
 
-use cells::{LatchConfig, ProposedLatch, margin};
-use mtj::{MtjParams, SwitchingModel, ThermalModel, wer};
+use cells::{margin, LatchConfig, ProposedLatch};
+use mtj::{wer, MtjParams, SwitchingModel, ThermalModel};
 use units::Current;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -35,8 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .simulate_restore([true, false])
             .map(|r| r.bits == [true, false])
             .unwrap_or(false);
-        let tau = SwitchingModel::new(&params)
-            .mean_switching_time(Current::from_micro_amps(63.0));
+        let tau = SwitchingModel::new(&params).mean_switching_time(Current::from_micro_amps(63.0));
 
         println!(
             "{:>8} | {:>6.0}% {:>9} {:>13} | {:>7.1}% {:>9} | {:>8}",
@@ -65,4 +64,3 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     Ok(())
 }
-

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Tier-1 gate: formatting, lints, and the full test suite.
+#
+# Offline-safe by construction — every cargo invocation passes
+# --offline, so the script never reaches for the network. All
+# dependencies are either workspace crates or the vendored stubs in
+# third_party/; nothing needs to be downloaded.
+#
+# Usage: scripts/ci.sh [--no-clippy]
+#   --no-clippy   skip the lint pass (useful on toolchains without
+#                 the clippy component)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run_clippy=1
+for arg in "$@"; do
+    case "$arg" in
+        --no-clippy) run_clippy=0 ;;
+        *)
+            echo "unknown option: $arg" >&2
+            exit 2
+            ;;
+    esac
+done
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+if [ "$run_clippy" -eq 1 ]; then
+    if cargo clippy --version >/dev/null 2>&1; then
+        echo "==> cargo clippy (workspace, all targets, -D warnings)"
+        cargo clippy --offline --workspace --all-targets -- -D warnings
+    else
+        echo "==> cargo clippy unavailable on this toolchain; skipping" >&2
+    fi
+fi
+
+echo "==> cargo test (workspace)"
+cargo test --offline --workspace -q
+
+echo "==> tier-1 gate passed"

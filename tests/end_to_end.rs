@@ -5,10 +5,10 @@
 
 use cells::{LatchConfig, ProposedLatch, StandardLatch};
 use merge::MergeOptions;
-use netlist::{CellLibrary, benchmarks};
+use netlist::{benchmarks, CellLibrary};
 use nvff::system::{self, SystemCosts};
-use place::placer::{self, PlacerOptions};
 use place::def;
+use place::placer::{self, PlacerOptions};
 
 /// Store and restore are inverse operations at the circuit level: what
 /// the store phase writes into the MTJs, a fresh restore reads back —
@@ -26,7 +26,10 @@ fn store_then_restore_round_trips_through_the_mtjs() {
         // states survive. A fresh restore simulation preconditions its
         // devices with exactly those states.
         let restore = latch.simulate_restore(data).expect("restore");
-        assert_eq!(restore.bits, data, "pattern {data:?} lost across power cycle");
+        assert_eq!(
+            restore.bits, data,
+            "pattern {data:?} lost across power cycle"
+        );
     }
 }
 

@@ -6,7 +6,7 @@
 use cells::{LatchConfig, ProposedLatch};
 use merge::{MergeOptions, TimingModel};
 use mtj::ThermalModel;
-use netlist::{CellLibrary, benchmarks};
+use netlist::{benchmarks, CellLibrary};
 use place::placer::{self, PlacerOptions};
 use place::stats::FlipFlopStats;
 use units::Temperature;
@@ -16,13 +16,17 @@ use units::Temperature;
 /// TMR and critical current, but the margins hold.
 #[test]
 fn latch_works_at_85_celsius() {
-    let hot_mtj =
-        ThermalModel::default().at_temperature(&mtj::MtjParams::date2018(), Temperature::from_celsius(85.0));
-    let mut config = LatchConfig::default();
-    config.mtj = hot_mtj;
+    let hot_mtj = ThermalModel::default()
+        .at_temperature(&mtj::MtjParams::date2018(), Temperature::from_celsius(85.0));
+    let config = LatchConfig {
+        mtj: hot_mtj,
+        ..LatchConfig::default()
+    };
     let latch = ProposedLatch::new(config);
 
-    let store = latch.simulate_store([true, false], [false, true]).expect("hot store");
+    let store = latch
+        .simulate_store([true, false], [false, true])
+        .expect("hot store");
     assert_eq!(store.stored, [true, false]);
     // Hot devices switch *faster* (lower Ic).
     assert!(store.latency.nano_seconds() < 2.5);
@@ -71,7 +75,7 @@ fn merged_pairs_meet_timing_on_real_benchmarks() {
 /// A deck written from a circuit simulates identically after reparsing.
 #[test]
 fn deck_round_trip_preserves_simulation_results() {
-    use spice::{Circuit, SourceWaveform, analysis, deck};
+    use spice::{analysis, deck, Circuit, SourceWaveform};
     use units::{Capacitance, Resistance, Time, Voltage};
 
     let build = || {
@@ -94,8 +98,13 @@ fn deck_round_trip_preserves_simulation_results() {
         .expect("V1");
         ckt.add_resistor("R1", a, b, Resistance::from_kilo_ohms(2.0))
             .expect("R1");
-        ckt.add_capacitor("C1", b, Circuit::GROUND, Capacitance::from_femto_farads(500.0))
-            .expect("C1");
+        ckt.add_capacitor(
+            "C1",
+            b,
+            Circuit::GROUND,
+            Capacitance::from_femto_farads(500.0),
+        )
+        .expect("C1");
         ckt
     };
     let mut original = build();
@@ -141,11 +150,13 @@ fn latch_restore_exports_to_vcd() {
 /// placer-threshold calibration depends on.
 #[test]
 fn lef_library_matches_layout_geometry() {
-    use layout::{DesignRules, lef};
+    use layout::{lef, DesignRules};
     let rules = DesignRules::n40();
     let text = lef::write_nv_library(&rules);
     assert!(text.contains("SIZE 1.6750 BY 1.6800 ;")); // NVLATCH1
-    let w2 = layout::cells::proposed_2bit_layout(&rules).width().micro_meters();
+    let w2 = layout::cells::proposed_2bit_layout(&rules)
+        .width()
+        .micro_meters();
     assert!(text.contains(&format!("SIZE {w2:.4} BY 1.6800 ;")));
 }
 
@@ -171,12 +182,14 @@ fn restores_never_disturb_the_stored_state() {
 #[test]
 fn store_pulse_margins() {
     use cells::Corner;
-    use mtj::{SwitchingModel, wer};
+    use mtj::{wer, SwitchingModel};
 
     // Deterministic: worst-corner store completes inside the pulse.
     let config = LatchConfig::default().at_corner(Corner::slow());
     let latch = ProposedLatch::new(config.clone());
-    let out = latch.simulate_store([true, false], [false, true]).expect("worst-corner store");
+    let out = latch
+        .simulate_store([true, false], [false, true])
+        .expect("worst-corner store");
     assert!(out.latency < config.timing.write_pulse);
 
     // Stochastic: the analytic WER at the nominal drive and pulse.

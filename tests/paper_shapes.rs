@@ -62,7 +62,10 @@ fn expectation_3_leakage_ordering_and_spread() {
     .expect("corner sweep");
     let envelope = comparison.standard_envelope(|m| m.leakage.watts());
     let spread = envelope.worst / envelope.best;
-    assert!((4.0..40.0).contains(&spread), "leakage spread = {spread:.1}×");
+    assert!(
+        (4.0..40.0).contains(&spread),
+        "leakage spread = {spread:.1}×"
+    );
     // Worst > typical > best ordering.
     assert!(envelope.worst > envelope.typical);
     assert!(envelope.typical > envelope.best);
@@ -103,7 +106,10 @@ fn expectation_5_system_level() {
     }
     let (area, energy) = system::average_improvements(&rows);
     assert!((0.15..0.35).contains(&area), "measured area avg = {area}");
-    assert!((0.08..0.20).contains(&energy), "measured energy avg = {energy}");
+    assert!(
+        (0.08..0.20).contains(&energy),
+        "measured energy avg = {energy}"
+    );
 }
 
 /// Expectation 6: write energy and latency are essentially identical
@@ -112,8 +118,14 @@ fn expectation_5_system_level() {
 fn expectation_6_write_parity() {
     let (std_m, prop_m) = typical();
     let energy_ratio = prop_m.write_energy / std_m.write_energy;
-    assert!((0.5..1.5).contains(&energy_ratio), "ratio = {energy_ratio:.2}");
+    assert!(
+        (0.5..1.5).contains(&energy_ratio),
+        "ratio = {energy_ratio:.2}"
+    );
     let latency_ratio = prop_m.write_latency / std_m.write_latency;
-    assert!((0.7..1.4).contains(&latency_ratio), "ratio = {latency_ratio:.2}");
+    assert!(
+        (0.7..1.4).contains(&latency_ratio),
+        "ratio = {latency_ratio:.2}"
+    );
     assert!((1.0..4.0).contains(&std_m.write_latency.nano_seconds()));
 }

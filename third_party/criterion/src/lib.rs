@@ -1,0 +1,158 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! provides the same authoring surface the workspace's benches use —
+//! [`Criterion::bench_function`], [`Bencher::iter`],
+//! [`criterion_group!`] and [`criterion_main!`] — backed by a simple
+//! wall-clock sampler: per bench it calibrates an iteration count to a
+//! target sample duration, takes `sample_size` samples, and prints the
+//! min / median / max time per iteration. No statistical analysis,
+//! plots, or baseline storage.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Target wall-clock duration of one measurement sample.
+const TARGET_SAMPLE: Duration = Duration::from_millis(20);
+
+/// The benchmark driver: holds configuration and runs registered
+/// bench functions.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    filters: Vec<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Positional command-line arguments are bench-name filters
+        // (flags like --bench, which cargo appends, are ignored).
+        let filters = std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with('-'))
+            .collect();
+        Self {
+            sample_size: 20,
+            filters,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one named benchmark, unless it is filtered out by the
+    /// command line. `f` is invoked once per sample with a [`Bencher`]
+    /// that times the hot closure.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if !self.filters.is_empty() && !self.filters.iter().any(|pat| id.contains(pat)) {
+            return self;
+        }
+
+        // Calibration pass: one iteration, to size the real samples.
+        let mut bencher = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        let per_iter_ns = (bencher.elapsed.as_nanos() / u128::from(bencher.iters)).max(1);
+        let iters = u64::try_from((TARGET_SAMPLE.as_nanos() / per_iter_ns).clamp(1, 1_000_000))
+            .expect("clamped");
+
+        let mut samples: Vec<f64> = (0..self.sample_size)
+            .map(|_| {
+                let mut bencher = Bencher {
+                    iters,
+                    elapsed: Duration::ZERO,
+                };
+                f(&mut bencher);
+                bencher.elapsed.as_nanos() as f64 / bencher.iters as f64
+            })
+            .collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        let min = samples[0];
+        let median = samples[samples.len() / 2];
+        let max = samples[samples.len() - 1];
+        println!(
+            "{id:<44} time: [{} {} {}]",
+            format_ns(min),
+            format_ns(median),
+            format_ns(max)
+        );
+        self
+    }
+}
+
+/// Times the benchmark's hot closure for a fixed iteration count.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly, recording total elapsed wall-clock time.
+    /// The closure's return value is passed through
+    /// [`std::hint::black_box`] so its computation is not optimized
+    /// away.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Bundles bench functions into a named group runner, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $(($target)(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generates `main` running each group, mirroring criterion's macro of
+/// the same name.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $(($group)();)+
+        }
+    };
+}

@@ -1,0 +1,28 @@
+//! `any::<T>()`: the canonical whole-domain strategy for simple types.
+
+use core::marker::PhantomData;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, StandardValue};
+
+use crate::strategy::Strategy;
+
+/// Strategy returned by [`any`], sampling `T` uniformly over its
+/// standard domain (`bool` fair coin, floats in `[0, 1)`, integers over
+/// their width).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T>(PhantomData<T>);
+
+/// The canonical strategy for `T`.
+#[must_use]
+pub fn any<T: StandardValue>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: StandardValue> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        rng.random::<T>()
+    }
+}

@@ -1,0 +1,132 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! re-implements the slice of proptest the workspace's property tests
+//! use: the [`proptest!`] / [`prop_assert!`] / [`prop_assert_eq!`] /
+//! [`prop_assume!`] macros, range and tuple strategies, `any::<T>()`,
+//! and `prop::collection::vec`. Cases are generated from a fixed seed
+//! so test runs are reproducible; set `PROPTEST_CASES` to change the
+//! per-test case count (default 64).
+//!
+//! Shrinking is intentionally not implemented — a failing case reports
+//! its index and message only.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-import surface mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+
+    /// Module-path re-exports so `prop::collection::vec(..)` resolves.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from
+/// strategies, running each body over many generated cases.
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     // `#[test]` goes here in real test code.
+///     fn addition_commutes(a in 0usize..100, b in 0usize..100) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// addition_commutes();
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut runner = $crate::test_runner::TestRunner::default();
+                for case in 0..runner.cases {
+                    $(
+                        let $arg = $crate::strategy::Strategy::sample(
+                            &($strategy),
+                            &mut runner.rng,
+                        );
+                    )+
+                    let outcome: ::core::result::Result<(), ::std::string::String> =
+                        (|| {
+                            $body
+                            ::core::result::Result::Ok(())
+                        })();
+                    if let ::core::result::Result::Err(message) = outcome {
+                        ::core::panic!(
+                            "property `{}` failed on case {}/{}: {}",
+                            ::core::stringify!($name),
+                            case + 1,
+                            runner.cases,
+                            message,
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the current
+/// case (with an optional formatted message) rather than panicking
+/// directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed: {}",
+                ::core::stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        if !(left == right) {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed: `{} == {}`: left `{:?}`, right `{:?}`",
+                ::core::stringify!($left),
+                ::core::stringify!($right),
+                left,
+                right,
+            ));
+        }
+    }};
+}
+
+/// Skips the current generated case when its inputs don't satisfy a
+/// precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Ok(());
+        }
+    };
+}

@@ -1,0 +1,42 @@
+//! Value-generation strategies: ranges, tuples, and anything else that
+//! knows how to sample itself from the runner's generator.
+
+use core::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, UniformValue};
+
+/// A recipe for generating values of [`Strategy::Value`].
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value from `rng`.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+impl<T: UniformValue + Copy> Strategy for Range<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        rng.random_range(self.start..self.end)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}

@@ -1,0 +1,32 @@
+//! The per-property case loop: a fixed-seed generator plus case count.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Default number of generated cases per property.
+pub const DEFAULT_CASES: u32 = 64;
+
+/// State driving one property's case loop. Public fields because the
+/// [`proptest!`](crate::proptest) expansion reads them directly.
+#[derive(Debug, Clone)]
+pub struct TestRunner {
+    /// Deterministic generator shared by every strategy in the property.
+    pub rng: StdRng,
+    /// Number of cases to generate.
+    pub cases: u32,
+}
+
+impl Default for TestRunner {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(DEFAULT_CASES);
+        Self {
+            // Fixed seed: properties are regression tests here, and a
+            // reproducible stream keeps CI deterministic.
+            rng: StdRng::seed_from_u64(0x9e37_79b9_7f4a_7c15),
+            cases,
+        }
+    }
+}
