@@ -2,15 +2,28 @@
 //! 1-bit latches against the proposed 2-bit latch, as worst/typical/best
 //! envelopes over the 3 × 3 CMOS ⊗ MTJ corner grid.
 //!
-//! Usage: `table2 [--quick]` (`--quick` evaluates the three diagonal
-//! corners only).
+//! Usage: `table2 [--quick] [--json <path>]` (`--quick` evaluates the
+//! three diagonal corners only; `--json` additionally writes a
+//! machine-readable run report with wall-clock, solver work and the
+//! telemetry span tree).
+
+use std::time::Instant;
 
 use cells::{CellMetrics, Corner, LatchComparison, LatchConfig};
 use layout::DesignRules;
 use nvff::paper;
-use nvff_bench::compare_line;
+use nvff_bench::{compare_line, push_solver_stats};
+use telemetry::Section;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    telemetry::init_from_env();
+    let json_path = nvff_bench::json_path_from_args();
+    if json_path.is_some() {
+        telemetry::ensure_collecting();
+    }
+    let root_span = telemetry::span("table2");
+    let wall_start = Instant::now();
+
     let quick = std::env::args().any(|a| a == "--quick");
     let corners: Vec<Corner> = if quick {
         vec![Corner::slow(), Corner::typical(), Corner::fast()]
@@ -154,8 +167,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // the corner grid (each corner reuses one SimulationSession per
     // latch, so these counters also measure the workspace-reuse path).
     let sum_stats = |rows: &[(Corner, CellMetrics)]| {
-        rows.iter()
-            .fold(spice::SolverStats::default(), |acc, (_, m)| acc + m.solver)
+        let mut total = spice::SolverStats::default();
+        for (_, m) in rows {
+            total.accumulate(m.solver);
+        }
+        total
     };
     let std_stats = sum_stats(&comparison.standard);
     let prop_stats = sum_stats(&comparison.proposed);
@@ -192,5 +208,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             paper::write_latency().nano_seconds()
         )
     );
+
+    drop(root_span);
+    let snap = telemetry::finish();
+    if let Some(path) = json_path {
+        let mut run = telemetry::RunReport::new("table2");
+        let mut section = Section::new("table2")
+            .metric("wall_s", wall_start.elapsed().as_secs_f64())
+            .metric("corners", corners.len() as u64)
+            .metric("read_energy_improvement", energy_saving);
+        push_solver_stats(&mut section, "standard.", std_stats);
+        push_solver_stats(&mut section, "proposed.", prop_stats);
+        push_solver_stats(&mut section, "write.", w.solver);
+        run.add(section);
+        run.write(&path, &snap)?;
+        println!("run report written to {}", path.display());
+    }
     Ok(())
 }

@@ -15,6 +15,50 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+/// Extracts the `--json <path>` argument from the process command line
+/// (the machine-readable run-report mode shared by the bench binaries).
+///
+/// # Examples
+///
+/// ```
+/// // No --json flag in the test harness's own argv.
+/// assert_eq!(nvff_bench::json_path_from_args(), None);
+/// ```
+#[must_use]
+pub fn json_path_from_args() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--json" {
+            return args.next().map(std::path::PathBuf::from);
+        }
+        if let Some(path) = a.strip_prefix("--json=") {
+            return Some(std::path::PathBuf::from(path));
+        }
+    }
+    None
+}
+
+/// Appends the five [`spice::SolverStats`] counters to a run-report
+/// section under `<prefix>` names — the bench side of the telemetry
+/// boundary (the telemetry crate stays ignorant of solver types).
+pub fn push_solver_stats(
+    section: &mut telemetry::Section,
+    prefix: &str,
+    stats: spice::SolverStats,
+) {
+    section.push(
+        &format!("{prefix}newton_iterations"),
+        stats.newton_iterations,
+    );
+    section.push(
+        &format!("{prefix}lu_factorizations"),
+        stats.lu_factorizations,
+    );
+    section.push(&format!("{prefix}accepted_steps"), stats.accepted_steps);
+    section.push(&format!("{prefix}rejected_steps"), stats.rejected_steps);
+    section.push(&format!("{prefix}step_halvings"), stats.step_halvings);
+}
+
 /// Formats a measured-vs-paper comparison line: value, reference, and
 /// the ratio between them.
 ///

@@ -149,6 +149,7 @@ pub struct CellMetrics {
 ///
 /// Propagates any [`CellError`] from the underlying simulations.
 pub fn characterize_standard_pair(config: &LatchConfig) -> Result<CellMetrics, CellError> {
+    let _span = telemetry::span("cells.characterize_standard_pair");
     let latch = StandardLatch::new(config.clone());
     let r0 = latch.simulate_restore([false])?;
     let r1 = latch.simulate_restore([true])?;
@@ -173,6 +174,7 @@ pub fn characterize_standard_pair(config: &LatchConfig) -> Result<CellMetrics, C
 ///
 /// Propagates any [`CellError`] from the underlying simulations.
 pub fn characterize_proposed(config: &LatchConfig) -> Result<CellMetrics, CellError> {
+    let _span = telemetry::span("cells.characterize_proposed");
     let latch = ProposedLatch::new(config.clone());
     let patterns = [[false, false], [false, true], [true, false], [true, true]];
     let mut energy = Energy::ZERO;
@@ -257,6 +259,9 @@ impl LatchComparison {
                     .map(|&corner| {
                         let cfg = base.at_corner(corner);
                         scope.spawn(move || {
+                            // Span parentage is per-thread, so each
+                            // corner starts a fresh root on its worker.
+                            let _span = telemetry::span("cells.corner");
                             let std_m = characterize_standard_pair(&cfg)?;
                             let prop_m = characterize_proposed(&cfg)?;
                             Ok((corner, std_m, prop_m))

@@ -141,8 +141,12 @@ impl ProposedLatch {
     ) -> Result<T, CellError> {
         let mut slot = self.session.borrow_mut();
         let session = match slot.as_mut() {
-            Some(session) => session,
+            Some(session) => {
+                telemetry::counter("cells.session_hit", 1);
+                session
+            }
             None => {
+                telemetry::counter("cells.session_miss", 1);
                 let ckt = self.build(stim, stored)?;
                 slot.insert(SimulationSession::new(ckt))
             }
@@ -332,6 +336,7 @@ impl ProposedLatch {
         &self,
         stored: [bool; 2],
     ) -> Result<(spice::TransientResult, ProposedRestoreControls), CellError> {
+        let _span = telemetry::span("cells.proposed.restore");
         let vdd = self.config.vdd();
         let controls = self.restore_controls();
         // Restore happens at wake-up from a power-gated state: every
@@ -358,6 +363,7 @@ impl ProposedLatch {
         data: [bool; 2],
         initial: [bool; 2],
     ) -> Result<(spice::TransientResult, StoreControls), CellError> {
+        let _span = telemetry::span("cells.proposed.store");
         let vdd = self.config.vdd();
         let controls = control::store(&self.config.timing, vdd);
         let step = self.config.time_step * 5.0;
@@ -381,6 +387,7 @@ impl ProposedLatch {
         data: [bool; 2],
         initial: [bool; 2],
     ) -> Result<StoreOutcome<2>, CellError> {
+        let _span = telemetry::span("cells.proposed.store");
         let vdd = self.config.vdd();
         let controls = control::store(&self.config.timing, vdd);
         let step = self.config.time_step * 5.0;
@@ -420,6 +427,7 @@ impl ProposedLatch {
     ///
     /// [`CellError::Simulation`] if the operating point fails.
     pub fn leakage(&self) -> Result<units::Power, CellError> {
+        let _span = telemetry::span("cells.proposed.leakage");
         let stim = Stimulus::idle(&self.config);
         let op = self.with_session(&stim, [false, false], |session| Ok(session.op()?))?;
         let mut watts = 0.0;

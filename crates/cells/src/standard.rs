@@ -187,6 +187,7 @@ impl StandardLatch {
         &self,
         stored: [bool; 1],
     ) -> Result<(spice::TransientResult, StandardRestoreControls), CellError> {
+        let _span = telemetry::span("cells.standard.restore");
         let vdd = self.config.vdd();
         let controls = control::standard_restore(&self.config.timing, vdd);
         let options = analysis::TransientOptions {
@@ -220,6 +221,7 @@ impl StandardLatch {
         data: [bool; 1],
         initial: [bool; 1],
     ) -> Result<StoreOutcome<1>, CellError> {
+        let _span = telemetry::span("cells.standard.store");
         let vdd = self.config.vdd();
         let controls = control::store(&self.config.timing, vdd);
         // Write dynamics are nanosecond-scale; a coarser step suffices.
@@ -261,6 +263,7 @@ impl StandardLatch {
     ///
     /// [`CellError::Simulation`] if the operating point fails.
     pub fn leakage(&self) -> Result<units::Power, CellError> {
+        let _span = telemetry::span("cells.standard.leakage");
         let idle = IdleControls::restore_idle(&self.config);
         let op = self.with_session(&idle, [false], |session| Ok(session.op()?))?;
         let vdd = self.config.vdd();
@@ -289,8 +292,12 @@ impl StandardLatch {
     ) -> Result<T, CellError> {
         let mut slot = self.session.borrow_mut();
         let session = match slot.as_mut() {
-            Some(session) => session,
+            Some(session) => {
+                telemetry::counter("cells.session_hit", 1);
+                session
+            }
             None => {
+                telemetry::counter("cells.session_miss", 1);
                 let ckt = self.build(controls, stored)?;
                 slot.insert(SimulationSession::new(ckt))
             }

@@ -45,6 +45,7 @@ impl SystemCosts {
     ///
     /// Propagates [`cells::CellError`] from the characterization runs.
     pub fn measured() -> Result<Self, cells::CellError> {
+        let _span = telemetry::span("nvff.costs_measured");
         let rules = layout::DesignRules::n40();
         let config = cells::LatchConfig::default();
         let std_metrics = cells::metrics::characterize_standard_pair(&config)?;
@@ -164,6 +165,7 @@ pub fn evaluate_measured(
     costs: &SystemCosts,
     max_gates: usize,
 ) -> BenchmarkResult {
+    let _span = telemetry::span("nvff.benchmark");
     let netlist = benchmarks::generate_scaled(spec, max_gates);
     let placed = placer::place(&netlist, &CellLibrary::n40(), &PlacerOptions::default());
     let plan = merge::plan(
@@ -179,6 +181,7 @@ pub fn evaluate_measured(
 /// Evaluates all 13 benchmarks.
 #[must_use]
 pub fn table3(costs: &SystemCosts, mode: EvaluationMode) -> Vec<BenchmarkResult> {
+    let _span = telemetry::span("nvff.table3");
     benchmarks::Benchmark::ALL
         .iter()
         .map(|&spec| match mode {

@@ -259,6 +259,32 @@ mod tests {
     }
 
     #[test]
+    fn solver_stats_accumulate_saturates_per_counter() {
+        let mut a = SolverStats {
+            newton_iterations: u64::MAX - 2,
+            lu_factorizations: 10,
+            accepted_steps: 20,
+            rejected_steps: 30,
+            step_halvings: 40,
+        };
+        let b = SolverStats {
+            newton_iterations: 5,
+            lu_factorizations: 6,
+            accepted_steps: 7,
+            rejected_steps: 8,
+            step_halvings: u64::MAX,
+        };
+        a.accumulate(b);
+        assert_eq!(a.newton_iterations, u64::MAX, "saturates, no wrap");
+        assert_eq!(a.lu_factorizations, 16);
+        assert_eq!(a.accepted_steps, 27);
+        assert_eq!(a.rejected_steps, 38);
+        assert_eq!(a.step_halvings, u64::MAX, "saturates, no wrap");
+        // `+` delegates to accumulate, so the two stay consistent.
+        assert_eq!(b + SolverStats::default(), b);
+    }
+
+    #[test]
     fn divider_op() {
         let mut ckt = Circuit::new();
         let vin = ckt.node("vin");

@@ -69,6 +69,9 @@ pub(super) fn newton(
 ) -> Result<(), SpiceError> {
     let n = plan.n_unknowns;
     let n_nodes = plan.n_nodes;
+    // One atomic load, hoisted so the per-iteration instrumentation
+    // below is branch-on-bool when tracing is off.
+    let tel = telemetry::enabled();
 
     for _iter in 0..max_iter {
         assemble(plan, ckt, bufs.x, t, gmin, companions, bufs.a, bufs.z);
@@ -77,10 +80,15 @@ pub(super) fn newton(
         // `assemble` rebuilds the matrix next iteration anyway, so let
         // the factorization consume it in place instead of paying an
         // n² working-copy memcpy per solve.
+        let lu_timer = tel.then(std::time::Instant::now);
         if !bufs.a.solve_in_place(bufs.z, bufs.lu, bufs.x_new) {
             return Err(SpiceError::SingularMatrix { analysis, time: t });
         }
+        if let Some(start) = lu_timer {
+            telemetry::histogram("spice.lu_solve_s", start.elapsed().as_secs_f64());
+        }
         let mut converged = true;
+        let mut max_delta = 0.0_f64;
         for i in 0..n {
             let mut delta = bufs.x_new[i] - bufs.x[i];
             let tol = if i < n_nodes {
@@ -96,7 +104,15 @@ pub(super) fn newton(
             if delta.abs() > tol {
                 converged = false;
             }
+            if tel {
+                max_delta = max_delta.max(delta.abs());
+            }
             bufs.x[i] += delta;
+        }
+        if tel {
+            // Largest damped update this iteration — the Newton residual
+            // proxy the convergence test itself works from.
+            telemetry::histogram("spice.newton_delta", max_delta);
         }
         if converged {
             return Ok(());
@@ -120,6 +136,7 @@ pub(super) fn solve_op_from_zero(
     bufs.zero_x(plan.n_unknowns);
     let gmin_ladder = [1e-2, 1e-4, 1e-6, 1e-8, 1e-10, GMIN_FLOOR];
     for (stage, &gmin) in gmin_ladder.iter().enumerate() {
+        telemetry::counter("spice.gmin_rounds", 1);
         bufs.save_x();
         match newton(plan, ckt, bufs, "op", t, gmin, None, 400) {
             Ok(()) => {}
@@ -160,6 +177,7 @@ pub(super) fn op_core(
     ckt: &Circuit,
     ws: &mut Workspace,
 ) -> Result<OpResult, SpiceError> {
+    let _span = telemetry::span("spice.op");
     let before = ws.stats;
     let (mut bufs, _) = ws.split();
     solve_op_from_zero(plan, ckt, &mut bufs, 0.0)?;
@@ -177,6 +195,7 @@ pub(super) fn run_dc_sweep(
     source: &str,
     values: &[f64],
 ) -> Result<Vec<OpResult>, SpiceError> {
+    let _span = telemetry::span("spice.dc_sweep");
     if values.is_empty() {
         return Err(SpiceError::InvalidAnalysis {
             reason: "dc sweep needs at least one source value".into(),

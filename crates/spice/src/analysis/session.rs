@@ -42,17 +42,31 @@ pub struct SolverStats {
     pub step_halvings: u64,
 }
 
+impl SolverStats {
+    /// Folds another stats record into this one, saturating at
+    /// `u64::MAX` per counter. The saturating arithmetic makes the fold
+    /// safe for whole-campaign aggregation (Monte-Carlo sweeps, bench
+    /// report totals) where `+` could in principle overflow.
+    pub fn accumulate(&mut self, other: Self) {
+        self.newton_iterations = self
+            .newton_iterations
+            .saturating_add(other.newton_iterations);
+        self.lu_factorizations = self
+            .lu_factorizations
+            .saturating_add(other.lu_factorizations);
+        self.accepted_steps = self.accepted_steps.saturating_add(other.accepted_steps);
+        self.rejected_steps = self.rejected_steps.saturating_add(other.rejected_steps);
+        self.step_halvings = self.step_halvings.saturating_add(other.step_halvings);
+    }
+}
+
 impl Add for SolverStats {
     type Output = Self;
 
     fn add(self, rhs: Self) -> Self {
-        Self {
-            newton_iterations: self.newton_iterations + rhs.newton_iterations,
-            lu_factorizations: self.lu_factorizations + rhs.lu_factorizations,
-            accepted_steps: self.accepted_steps + rhs.accepted_steps,
-            rejected_steps: self.rejected_steps + rhs.rejected_steps,
-            step_halvings: self.step_halvings + rhs.step_halvings,
-        }
+        let mut sum = self;
+        sum.accumulate(rhs);
+        sum
     }
 }
 

@@ -32,6 +32,9 @@ pub(super) fn run(
     step: Time,
     options: TransientOptions,
 ) -> Result<TransientResult, SpiceError> {
+    let _span = telemetry::span("spice.transient");
+    // Hoisted enabled check for the per-step histogram below.
+    let tel = telemetry::enabled();
     let stop_s = stop.seconds();
     let dt_nominal = step.seconds();
     if stop_s <= 0.0 || dt_nominal <= 0.0 || stop_s.is_nan() || dt_nominal.is_nan() {
@@ -113,6 +116,9 @@ pub(super) fn run(
             }
         };
         t += dt_used;
+        if tel {
+            telemetry::histogram("spice.dt_s", dt_used);
+        }
 
         // Update capacitor history.
         for (cap, state) in plan.caps.iter().zip(cap_states.iter_mut()) {

@@ -102,9 +102,33 @@ fn warmed_up_session_does_not_allocate_per_iteration_or_per_step() {
     let step = Time::from_pico_seconds(10.0);
 
     // Warm up: first run sizes every buffer (including the recorder's
-    // initial vectors) and settles lazy one-time allocations.
+    // initial vectors) and settles lazy one-time allocations. The first
+    // telemetry::enabled() call inside the solver also applies
+    // NVFF_TRACE here (std::env::var allocates), so the measured
+    // sections below see only the steady-state atomic-load path.
     session.transient(stop, step).expect("warm-up transient");
     session.op().expect("warm-up op");
+    assert!(
+        !telemetry::enabled(),
+        "this test must run with tracing disabled (unset NVFF_TRACE)"
+    );
+
+    // Telemetry disabled path: spans, counters, histograms and
+    // stopwatches must be pure no-ops on the heap — the observability
+    // layer is compiled into the solver hot loop unconditionally, so a
+    // single stray allocation here would tax every Newton iteration.
+    let telemetry_allocs = count_allocs(|| {
+        for _ in 0..1000 {
+            let _span = telemetry::span("alloc_test.span");
+            telemetry::counter("alloc_test.counter", 1);
+            telemetry::histogram("alloc_test.hist", 1e-12);
+            let _watch = telemetry::stopwatch("alloc_test.watch");
+        }
+    });
+    assert_eq!(
+        telemetry_allocs, 0,
+        "disabled telemetry hot path allocated {telemetry_allocs} times in 4000 calls"
+    );
 
     // Operating point: the gmin ladder performs dozens of Newton
     // iterations. The only allocations allowed are the returned

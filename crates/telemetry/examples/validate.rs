@@ -1,0 +1,78 @@
+//! Validates that a JSON document (or a JSONL event stream) parses
+//! with the telemetry crate's own reader. Used by `scripts/ci.sh` to
+//! check bench `--json` run reports offline, with no external JSON
+//! tooling.
+//!
+//! Usage: `cargo run -p telemetry --example validate -- <file> [--jsonl]`
+//!
+//! Exit status is non-zero on parse failure, with the byte offset and
+//! message on stderr.
+
+use std::process::ExitCode;
+
+use telemetry::json::JsonValue;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next() else {
+        eprintln!("usage: validate <file> [--jsonl]");
+        return ExitCode::FAILURE;
+    };
+    let jsonl = match args.next().as_deref() {
+        None => path.ends_with(".jsonl"),
+        Some("--jsonl") => true,
+        Some(other) => {
+            eprintln!("validate: unknown argument {other:?}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("validate: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if jsonl {
+        let mut events = 0usize;
+        for (lineno, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            if let Err(e) = JsonValue::parse(line) {
+                eprintln!("validate: {path}:{}: {e}", lineno + 1);
+                return ExitCode::FAILURE;
+            }
+            events += 1;
+        }
+        println!("validate: {path}: {events} JSONL events OK");
+        ExitCode::SUCCESS
+    } else {
+        match JsonValue::parse(&text) {
+            Ok(doc) => {
+                let schema = doc.get("schema").and_then(JsonValue::as_str);
+                let sections = doc
+                    .get("sections")
+                    .and_then(JsonValue::as_array)
+                    .map_or(0, <[JsonValue]>::len);
+                let spans = doc
+                    .get("spans")
+                    .and_then(JsonValue::as_array)
+                    .map_or(0, <[JsonValue]>::len);
+                match schema {
+                    Some(s) => println!(
+                        "validate: {path}: schema {s}, {sections} sections, {spans} span paths OK"
+                    ),
+                    None => println!("validate: {path}: JSON OK"),
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("validate: {path}: {e}");
+                ExitCode::FAILURE
+            }
+        }
+    }
+}

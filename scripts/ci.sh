@@ -39,4 +39,16 @@ fi
 echo "==> cargo test (workspace)"
 cargo test --offline --workspace -q
 
+echo "==> telemetry smoke: table2 --quick --json"
+smoke_json="target/ci_smoke_report.json"
+smoke_trace="target/ci_smoke_trace.jsonl"
+cargo build --offline -q -p nvff-bench --bin table2 -p telemetry --example validate
+NVFF_TRACE="jsonl:$smoke_trace" \
+    cargo run --offline -q -p nvff-bench --bin table2 -- --quick --json "$smoke_json" \
+    >/dev/null
+# Validate both outputs with the telemetry crate's own JSON reader — no
+# external JSON tooling, keeping the gate offline-safe.
+cargo run --offline -q -p telemetry --example validate -- "$smoke_json"
+cargo run --offline -q -p telemetry --example validate -- "$smoke_trace"
+
 echo "==> tier-1 gate passed"
