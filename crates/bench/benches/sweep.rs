@@ -1,0 +1,52 @@
+//! Sweep-engine benchmarks: serial versus 4-worker Monte-Carlo
+//! throughput on a small write-error-rate grid.
+//!
+//! The workload is `mtj::wer::monte_carlo_wer_grid` — six
+//! `(current, pulse)` points, each running a few hundred stochastic
+//! writes with its own counter-seeded RNG. The serial and parallel
+//! variants produce bit-identical estimates (enforced by the WER grid
+//! tests), so the timing ratio is pure scheduling: what the chunked
+//! worker pool buys, and what its cursor/channel overhead costs, on a
+//! grid small enough that both matter.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use mtj::{wer, MtjParams, SwitchingModel};
+use units::{Current, Time};
+
+const TRIALS: usize = 200;
+const SEED: u64 = 41;
+
+fn wer_points(params: &MtjParams) -> Vec<(Current, Time)> {
+    let model = SwitchingModel::new(params);
+    let drive = params.nominal_write_current();
+    let tau = model.mean_switching_time(drive);
+    (1..=6)
+        .map(|k| (drive, tau * (f64::from(k) * 0.5)))
+        .collect()
+}
+
+fn bench_mc_wer(c: &mut Criterion) {
+    let params = MtjParams::date2018();
+    let points = wer_points(&params);
+
+    c.bench_function("mc_wer_grid_serial", |b| {
+        b.iter(|| {
+            let (estimates, _) =
+                wer::monte_carlo_wer_grid(&params, black_box(&points), TRIALS, SEED, 1);
+            black_box(estimates)
+        });
+    });
+
+    c.bench_function("mc_wer_grid_4_workers", |b| {
+        b.iter(|| {
+            let (estimates, _) =
+                wer::monte_carlo_wer_grid(&params, black_box(&points), TRIALS, SEED, 4);
+            black_box(estimates)
+        });
+    });
+}
+
+criterion_group!(benches, bench_mc_wer);
+criterion_main!(benches);

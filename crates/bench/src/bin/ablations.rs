@@ -12,6 +12,11 @@
 //!    circuitry: driving both complementary MTJ pairs in series halves
 //!    the write current below the switching threshold and the store
 //!    fails outright.
+//!
+//! Usage: `ablations [--jobs <N>]`. The control-scheme and sizing
+//! studies are independent simulation points, so they fan out over a
+//! sweep pool; stdout is rendered after ordered collection and is
+//! byte-identical for every `--jobs` value.
 
 use cells::proposed::ControlScheme;
 use cells::{LatchConfig, ProposedLatch};
@@ -24,11 +29,12 @@ use spice::{analysis, Circuit, SourceWaveform};
 use units::{Length, Time, Voltage};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let jobs = nvff_bench::jobs_from_args();
     threshold_sweep();
     pairing_strategies();
-    control_schemes()?;
+    control_schemes(jobs)?;
     shared_write_path()?;
-    sizing_sweep()?;
+    sizing_sweep(jobs)?;
     Ok(())
 }
 
@@ -91,16 +97,26 @@ fn pairing_strategies() {
     println!();
 }
 
-/// Ablation 3: explicit vs optimized control scheme.
-fn control_schemes() -> Result<(), cells::CellError> {
+/// Ablation 3: explicit vs optimized control scheme. The two schemes
+/// simulate as a two-point sweep grid.
+fn control_schemes(jobs: usize) -> Result<(), cells::CellError> {
     println!("ABLATION 3: CONTROL SCHEME (Fig. 6 explicit vs Fig. 7 optimized)");
-    for scheme in [ControlScheme::Explicit, ControlScheme::Optimized] {
+    let grid = sweep::Grid::new(vec![ControlScheme::Explicit, ControlScheme::Optimized]);
+    let opts = sweep::SweepOptions {
+        jobs,
+        span_label: "ablations.scheme",
+        ..sweep::SweepOptions::default()
+    };
+    let outcome = sweep::run(&grid, &opts, |_ctx, &scheme| {
         let latch = ProposedLatch::with_scheme(LatchConfig::default(), scheme);
         let out = latch.simulate_restore([true, false])?;
-        println!(
+        Ok::<_, cells::CellError>(format!(
             "  {scheme:?}: bits {:?}, supply energy {}, total (with controls) {}, delay {}",
             out.bits, out.supply_energy, out.energy, out.read_delay,
-        );
+        ))
+    });
+    for line in outcome.results {
+        println!("{}", line?);
     }
     println!("  (the optimized scheme derives P4/N4 from one PC̄ net — fewer control nets)\n");
     Ok(())
@@ -139,22 +155,33 @@ fn shared_write_path() -> Result<(), Box<dyn std::error::Error>> {
 
 /// Ablation 5: sense-amplifier sizing — the cross-coupled NMOS width
 /// trades read delay against energy; the paper's "custom design" claim
-/// rests on picking a sane point of this curve.
-fn sizing_sweep() -> Result<(), cells::CellError> {
+/// rests on picking a sane point of this curve. The four widths fan out
+/// as one sweep grid; lines print in grid (width) order regardless of
+/// which simulation finishes first.
+fn sizing_sweep(jobs: usize) -> Result<(), cells::CellError> {
     println!("ABLATION 5: SENSE-AMP SIZING (cross-coupled NMOS width)");
-    for nmos_nm in [240.0, 360.0, 480.0, 720.0] {
+    let grid = sweep::Grid::new(vec![240.0f64, 360.0, 480.0, 720.0]);
+    let opts = sweep::SweepOptions {
+        jobs,
+        span_label: "ablations.sizing",
+        ..sweep::SweepOptions::default()
+    };
+    let outcome = sweep::run(&grid, &opts, |_ctx, &nmos_nm| {
         let mut config = LatchConfig::default();
         config.sizing.cross_nmos = Length::from_nano_meters(nmos_nm);
         let latch = ProposedLatch::new(config);
         let out = latch.simulate_restore([true, false])?;
-        println!(
+        Ok::<_, cells::CellError>(format!(
             "  W(N1/N2) = {:>4.0} nm: read delay {:>9}  supply energy {:>9}  \
              energy·delay {:>7.1} fJ·ns",
             nmos_nm,
             out.read_delay.to_string(),
             out.supply_energy.to_string(),
             out.supply_energy.femto_joules() * out.read_delay.nano_seconds(),
-        );
+        ))
+    });
+    for line in outcome.results {
+        println!("{}", line?);
     }
     println!("  (the default 360 nm sits at the energy·delay knee)\n");
     Ok(())

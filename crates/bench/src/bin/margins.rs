@@ -3,12 +3,35 @@
 //!
 //! * read-margin vs. TMR sweep and the minimum resolvable TMR;
 //! * read-disturb check (no MTJ may flip during a restore);
-//! * write-error-rate vs. pulse width, with the pulse for a 10⁻⁹ WER;
+//! * write-error-rate vs. pulse width, with the pulse for a 10⁻⁹ WER,
+//!   cross-checked by a parallel Monte-Carlo campaign;
 //! * retention and latch function across temperature.
+//!
+//! Usage: `margins [--jobs <N>] [--checkpoint <path>]`. `--jobs` sets
+//! the Monte-Carlo worker count (`0`/absent = auto, `1` = serial);
+//! `--checkpoint` persists completed WER grid points to the given file,
+//! so an interrupted campaign resumes — bit-identically — where it
+//! stopped. Printed figures are identical for every mode.
 
 use cells::{margin, LatchConfig, ProposedLatch};
 use mtj::{wer, MtjParams, SwitchingModel, ThermalModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use units::{Current, Temperature, Time};
+
+/// Extracts the `--checkpoint <path>` argument, if present.
+fn checkpoint_path_from_args() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--checkpoint" {
+            return args.next().map(std::path::PathBuf::from);
+        }
+        if let Some(path) = a.strip_prefix("--checkpoint=") {
+            return Some(std::path::PathBuf::from(path));
+        }
+    }
+    None
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let base = LatchConfig::default();
@@ -73,6 +96,62 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "  pulse for WER 1e-9: {} (store happens once per power-down — cheap insurance)\n",
         wer::pulse_for_wer(&model, drive, 1e-9)
     );
+
+    // ---- Monte-Carlo WER cross-check ----------------------------------
+    // Empirical failure counts over the same (current, pulse) grid,
+    // fanned out over a sweep pool. Counter-based per-point seeding
+    // makes the counts identical for every --jobs value, and identical
+    // again when resumed from a --checkpoint file.
+    let jobs = nvff_bench::jobs_from_args();
+    let trials = 2000;
+    let mc_seed = 2018u64;
+    let points: Vec<(Current, Time)> = pulses[..4].iter().map(|&p| (drive, p)).collect();
+    println!("MONTE-CARLO WER CROSS-CHECK ({trials} stochastic writes per pulse)");
+    let failures: Vec<u64> = if let Some(path) = checkpoint_path_from_args() {
+        let description = format!(
+            "margins-wer drive={drive} pulses={} trials={trials} seed={mc_seed}",
+            points.len()
+        );
+        let grid = sweep::Grid::with_seed(points.clone(), mc_seed);
+        let policy = sweep::CheckpointPolicy::new(&path, sweep::fingerprint(&description));
+        let opts = sweep::SweepOptions {
+            jobs,
+            span_label: "margins.wer_point",
+            ..sweep::SweepOptions::default()
+        };
+        let outcome = sweep::run_checkpointed(
+            &grid,
+            &opts,
+            &policy,
+            |_| (),
+            |(), ctx, &(current, pulse)| {
+                let mut rng = StdRng::seed_from_u64(ctx.seed);
+                wer::count_write_failures(&nominal, current, pulse, trials, &mut rng) as u64
+            },
+            None,
+        )?;
+        eprintln!(
+            "checkpoint {}: {} of {} points restored",
+            path.display(),
+            outcome.summary.resumed,
+            outcome.summary.points
+        );
+        outcome.results
+    } else {
+        let (estimates, _) = wer::monte_carlo_wer_grid(&nominal, &points, trials, mc_seed, jobs);
+        estimates.iter().map(|e| e.failures as u64).collect()
+    };
+    for (&(_, pulse), &fails) in points.iter().zip(&failures) {
+        let empirical = fails as f64 / trials as f64;
+        let analytic = wer::write_error_rate(&model, drive, pulse);
+        println!(
+            "  pulse {:>6}: empirical {:>9.2e} ({fails:>4} failures)   analytic {:>9.2e}",
+            pulse.to_string(),
+            empirical,
+            analytic,
+        );
+    }
+    println!();
 
     // ---- Temperature ---------------------------------------------------
     println!("TEMPERATURE (Table I fixes 27 °C; first-order extension)");

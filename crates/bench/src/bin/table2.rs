@@ -2,17 +2,19 @@
 //! 1-bit latches against the proposed 2-bit latch, as worst/typical/best
 //! envelopes over the 3 × 3 CMOS ⊗ MTJ corner grid.
 //!
-//! Usage: `table2 [--quick] [--json <path>]` (`--quick` evaluates the
-//! three diagonal corners only; `--json` additionally writes a
-//! machine-readable run report with wall-clock, solver work and the
-//! telemetry span tree).
+//! Usage: `table2 [--quick] [--jobs <N>] [--json <path>]` (`--quick`
+//! evaluates the three diagonal corners only; `--jobs` sets the corner
+//! worker count, `0`/absent = one per hardware thread, `1` = serial;
+//! `--json` additionally writes a machine-readable run report with
+//! wall-clock, solver work, parallel accounting and the telemetry span
+//! tree). The printed table is byte-identical for every `--jobs` value.
 
 use std::time::Instant;
 
 use cells::{CellMetrics, Corner, LatchComparison, LatchConfig};
 use layout::DesignRules;
 use nvff::paper;
-use nvff_bench::{compare_line, push_solver_stats};
+use nvff_bench::{compare_line, push_parallel_summary, push_solver_stats};
 use telemetry::Section;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -30,12 +32,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     } else {
         Corner::all()
     };
+    let jobs = nvff_bench::jobs_from_args();
     eprintln!(
-        "characterizing both designs over {} corners (this runs {} transient analyses)...",
+        "characterizing both designs over {} corners on {} workers (this runs {} transient analyses)...",
         corners.len(),
+        sweep::SweepOptions::with_jobs(jobs).effective_workers(corners.len()),
         corners.len() * 16,
     );
-    let comparison = LatchComparison::evaluate(&LatchConfig::default(), &corners)?;
+    let comparison = LatchComparison::evaluate_with_jobs(&LatchConfig::default(), &corners, jobs)?;
     let published = paper::table2();
 
     println!("TABLE II: TWO STANDARD 1-BIT LATCHES vs PROPOSED 2-BIT LATCH");
@@ -220,6 +224,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         push_solver_stats(&mut section, "standard.", std_stats);
         push_solver_stats(&mut section, "proposed.", prop_stats);
         push_solver_stats(&mut section, "write.", w.solver);
+        push_parallel_summary(&mut section, &comparison.parallel);
         run.add(section);
         run.write(&path, &snap)?;
         println!("run report written to {}", path.display());

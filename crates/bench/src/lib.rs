@@ -38,6 +38,48 @@ pub fn json_path_from_args() -> Option<std::path::PathBuf> {
     None
 }
 
+/// Extracts the `--jobs <N>` argument from the process command line —
+/// the shared worker-count flag of the bench binaries. Returns `0`
+/// (auto: one worker per hardware thread) when absent; `--jobs 1`
+/// selects the serial path.
+///
+/// # Examples
+///
+/// ```
+/// // No --jobs flag in the test harness's own argv → auto.
+/// assert_eq!(nvff_bench::jobs_from_args(), 0);
+/// ```
+#[must_use]
+pub fn jobs_from_args() -> usize {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let value = if a == "--jobs" {
+            args.next()
+        } else if let Some(v) = a.strip_prefix("--jobs=") {
+            Some(v.to_owned())
+        } else {
+            continue;
+        };
+        return value.and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+            eprintln!("warning: --jobs expects an integer; using auto");
+            0
+        });
+    }
+    0
+}
+
+/// Appends a [`sweep::RunSummary`] to a run-report section as the
+/// `parallel.*` fields of the `nvff-run-report/1` schema: worker count,
+/// wall-clock vs cumulative solver-side job time, and realized speedup.
+pub fn push_parallel_summary(section: &mut telemetry::Section, summary: &sweep::RunSummary) {
+    section.push("parallel.workers", summary.workers as u64);
+    section.push("parallel.points", summary.points as u64);
+    section.push("parallel.resumed", summary.resumed as u64);
+    section.push("parallel.wall_s", summary.wall_s);
+    section.push("parallel.busy_s", summary.busy_s);
+    section.push("parallel.speedup", summary.speedup());
+}
+
 /// Appends the five [`spice::SolverStats`] counters to a run-report
 /// section under `<prefix>` names — the bench side of the telemetry
 /// boundary (the telemetry crate stays ignorant of solver types).

@@ -149,8 +149,21 @@ pub struct CellMetrics {
 ///
 /// Propagates any [`CellError`] from the underlying simulations.
 pub fn characterize_standard_pair(config: &LatchConfig) -> Result<CellMetrics, CellError> {
+    characterize_standard_pair_with(&StandardLatch::new(config.clone()))
+}
+
+/// [`characterize_standard_pair`] against a caller-owned latch, so a
+/// worker sweeping many corners can reuse its latches (and their cached
+/// solver sessions). The reported solver work is the **delta** incurred
+/// by this characterization, not the latch's lifetime total — reuse
+/// would otherwise double-count.
+///
+/// # Errors
+///
+/// Propagates any [`CellError`] from the underlying simulations.
+pub fn characterize_standard_pair_with(latch: &StandardLatch) -> Result<CellMetrics, CellError> {
     let _span = telemetry::span("cells.characterize_standard_pair");
-    let latch = StandardLatch::new(config.clone());
+    let solver_before = latch.solver_stats();
     let r0 = latch.simulate_restore([false])?;
     let r1 = latch.simulate_restore([true])?;
     let read_energy = (r0.supply_energy + r1.supply_energy) * 0.5 * 2.0; // avg per cell × 2
@@ -163,7 +176,7 @@ pub fn characterize_standard_pair(config: &LatchConfig) -> Result<CellMetrics, C
         write_energy: w.energy * 2.0,
         write_latency: w.latency,
         read_transistors: latch.read_path_transistors() * 2,
-        solver: latch.solver_stats(),
+        solver: latch.solver_stats() - solver_before,
     })
 }
 
@@ -174,8 +187,19 @@ pub fn characterize_standard_pair(config: &LatchConfig) -> Result<CellMetrics, C
 ///
 /// Propagates any [`CellError`] from the underlying simulations.
 pub fn characterize_proposed(config: &LatchConfig) -> Result<CellMetrics, CellError> {
+    characterize_proposed_with(&ProposedLatch::new(config.clone()))
+}
+
+/// [`characterize_proposed`] against a caller-owned latch; like
+/// [`characterize_standard_pair_with`], reports the solver-work delta of
+/// this characterization only.
+///
+/// # Errors
+///
+/// Propagates any [`CellError`] from the underlying simulations.
+pub fn characterize_proposed_with(latch: &ProposedLatch) -> Result<CellMetrics, CellError> {
     let _span = telemetry::span("cells.characterize_proposed");
-    let latch = ProposedLatch::new(config.clone());
+    let solver_before = latch.solver_stats();
     let patterns = [[false, false], [false, true], [true, false], [true, true]];
     let mut energy = Energy::ZERO;
     let mut delay = Time::ZERO;
@@ -192,7 +216,7 @@ pub fn characterize_proposed(config: &LatchConfig) -> Result<CellMetrics, CellEr
         write_energy: w.energy,
         write_latency: w.latency,
         read_transistors: latch.read_path_transistors(),
-        solver: latch.solver_stats(),
+        solver: latch.solver_stats() - solver_before,
     })
 }
 
@@ -233,6 +257,14 @@ impl CornerEnvelope {
     }
 }
 
+/// A worker's lazily-built latches for one corner: both designs share
+/// the corner's configuration, and each latch keeps its cached solver
+/// session alive for the whole sweep.
+struct CornerLatches {
+    standard: StandardLatch,
+    proposed: ProposedLatch,
+}
+
 /// The full Table II comparison: both designs characterized over the
 /// corner grid, with per-metric envelopes.
 #[derive(Debug, Clone, PartialEq)]
@@ -241,46 +273,75 @@ pub struct LatchComparison {
     pub standard: Vec<(Corner, CellMetrics)>,
     /// Per-corner metrics of the proposed 2-bit cell.
     pub proposed: Vec<(Corner, CellMetrics)>,
+    /// Worker/wall-clock accounting of the corner sweep.
+    pub parallel: sweep::RunSummary,
 }
 
 impl LatchComparison {
     /// Runs both designs over the given corners (typically
-    /// [`Corner::all`]). Corners are independent, so they are
-    /// characterized on parallel threads.
+    /// [`Corner::all`]) using one worker per hardware thread. Corners
+    /// are independent, so they fan out over a [`sweep`] pool; results
+    /// are identical for every worker count.
     ///
     /// # Errors
     ///
     /// Propagates the first [`CellError`] encountered (in corner order).
     pub fn evaluate(base: &LatchConfig, corners: &[Corner]) -> Result<Self, CellError> {
-        let results: Vec<Result<(Corner, CellMetrics, CellMetrics), CellError>> =
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = corners
-                    .iter()
-                    .map(|&corner| {
-                        let cfg = base.at_corner(corner);
-                        scope.spawn(move || {
-                            // Span parentage is per-thread, so each
-                            // corner starts a fresh root on its worker.
-                            let _span = telemetry::span("cells.corner");
-                            let std_m = characterize_standard_pair(&cfg)?;
-                            let prop_m = characterize_proposed(&cfg)?;
-                            Ok((corner, std_m, prop_m))
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("corner thread must not panic"))
-                    .collect()
-            });
+        Self::evaluate_with_jobs(base, corners, 0)
+    }
+
+    /// [`LatchComparison::evaluate`] with an explicit worker count
+    /// (`0` = auto, `1` = serial on the calling thread).
+    ///
+    /// Each worker owns a [`sweep::LazyPool`] of per-corner latches, so
+    /// the solver sessions built for a corner stay cached on the worker
+    /// that built them; the metrics carry per-characterization solver
+    /// deltas and are unaffected by the reuse.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`CellError`] encountered (in corner order).
+    pub fn evaluate_with_jobs(
+        base: &LatchConfig,
+        corners: &[Corner],
+        jobs: usize,
+    ) -> Result<Self, CellError> {
+        let grid = sweep::Grid::new(corners.to_vec());
+        let opts = sweep::SweepOptions {
+            jobs,
+            span_label: "cells.corner",
+            ..sweep::SweepOptions::default()
+        };
+        let outcome = sweep::run_with_state(
+            &grid,
+            &opts,
+            |_worker| sweep::LazyPool::<Corner, CornerLatches>::new(),
+            |pool, _ctx, &corner| {
+                let latches = pool.get_or_build(corner, || {
+                    let cfg = base.at_corner(corner);
+                    CornerLatches {
+                        standard: StandardLatch::new(cfg.clone()),
+                        proposed: ProposedLatch::new(cfg),
+                    }
+                });
+                let std_m = characterize_standard_pair_with(&latches.standard)?;
+                let prop_m = characterize_proposed_with(&latches.proposed)?;
+                Ok::<_, CellError>((std_m, prop_m))
+            },
+            None,
+        );
         let mut standard = Vec::with_capacity(corners.len());
         let mut proposed = Vec::with_capacity(corners.len());
-        for result in results {
-            let (corner, std_m, prop_m) = result?;
+        for (&corner, result) in corners.iter().zip(outcome.results) {
+            let (std_m, prop_m) = result?;
             standard.push((corner, std_m));
             proposed.push((corner, prop_m));
         }
-        Ok(Self { standard, proposed })
+        Ok(Self {
+            standard,
+            proposed,
+            parallel: outcome.summary,
+        })
     }
 
     /// Envelope of a metric over the standard design's corners.

@@ -5,6 +5,13 @@
 //! arbitrary metric over `n` perturbed devices and [`Statistics`]
 //! summarises the draws (mean, standard deviation, extremes, yield against
 //! a predicate).
+//!
+//! Sampling is **counter-seeded**: draw `i` perturbs its device with a
+//! private `StdRng` seeded by [`sweep::point_seed`]`(seed, i)` rather
+//! than walking one shared generator. Any draw can therefore be
+//! computed independently — which is what lets [`run_parallel`] fan the
+//! campaign out over a worker pool and still return results
+//! bit-identical to the serial [`run`].
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -16,7 +23,9 @@ use crate::variation::{MtjSample, VariationModel};
 /// deterministic seed, returning every metric value.
 ///
 /// The metric receives the full [`MtjSample`] so it can correlate outputs
-/// with the underlying multipliers.
+/// with the underlying multipliers. Draw `i` uses its own counter-derived
+/// seed, so the value at index `i` does not depend on `n` or on any other
+/// draw.
 ///
 /// # Examples
 ///
@@ -38,13 +47,56 @@ pub fn run<T>(
     seed: u64,
     mut metric: impl FnMut(&MtjSample) -> T,
 ) -> Vec<T> {
-    let mut rng = StdRng::seed_from_u64(seed);
     (0..n)
-        .map(|_| {
+        .map(|i| {
+            let mut rng = StdRng::seed_from_u64(sweep::point_seed(seed, i as u64));
             let sample = variation.sample(nominal, &mut rng);
             metric(&sample)
         })
         .collect()
+}
+
+/// The parallel form of [`run`]: the same draws, fanned out over a
+/// [`sweep`] worker pool.
+///
+/// Because each draw owns a counter-derived seed, the returned metric
+/// values are **bit-identical** to `run(nominal, variation, n, seed, …)`
+/// for every `jobs` value (`0` = auto, `1` = serial on the calling
+/// thread). Also returns the pool's [`sweep::RunSummary`] accounting.
+///
+/// # Examples
+///
+/// ```
+/// use mtj::{MtjParams, VariationModel, montecarlo};
+///
+/// let nominal = MtjParams::date2018();
+/// let v = VariationModel::default();
+/// let serial = montecarlo::run(&nominal, &v, 64, 7, |s| s.tmr_multiplier);
+/// let (parallel, summary) = montecarlo::run_parallel(&nominal, &v, 64, 7, 4, |s| {
+///     s.tmr_multiplier
+/// });
+/// assert_eq!(parallel, serial);
+/// assert_eq!(summary.points, 64);
+/// ```
+pub fn run_parallel<T: Send>(
+    nominal: &MtjParams,
+    variation: &VariationModel,
+    n: usize,
+    seed: u64,
+    jobs: usize,
+    metric: impl Fn(&MtjSample) -> T + Sync,
+) -> (Vec<T>, sweep::RunSummary) {
+    let grid = sweep::Grid::samples(n, seed);
+    let opts = sweep::SweepOptions {
+        jobs,
+        span_label: "mtj.mc_sample",
+        ..sweep::SweepOptions::default()
+    };
+    let outcome = sweep::run(&grid, &opts, |ctx, ()| {
+        let mut rng = StdRng::seed_from_u64(ctx.seed);
+        metric(&variation.sample(nominal, &mut rng))
+    });
+    (outcome.results, outcome.summary)
 }
 
 /// Summary statistics over a slice of metric values.
@@ -168,6 +220,34 @@ mod tests {
         });
         assert_eq!(a, b);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn parallel_run_is_bit_identical_to_serial() {
+        let nominal = MtjParams::date2018();
+        let v = VariationModel::default();
+        let serial = run(&nominal, &v, 300, 5, |s| {
+            s.params.resistance_parallel().ohms()
+        });
+        for jobs in [1, 3, 8] {
+            let (parallel, summary) = run_parallel(&nominal, &v, 300, 5, jobs, |s| {
+                s.params.resistance_parallel().ohms()
+            });
+            assert_eq!(parallel, serial, "jobs = {jobs}");
+            assert_eq!(summary.points, 300);
+            assert_eq!(summary.resumed, 0);
+        }
+    }
+
+    #[test]
+    fn draw_i_is_independent_of_n() {
+        // Counter seeding: shrinking the campaign must not change the
+        // draws that remain.
+        let nominal = MtjParams::date2018();
+        let v = VariationModel::default();
+        let long = run(&nominal, &v, 50, 13, |s| s.tmr_multiplier);
+        let short = run(&nominal, &v, 20, 13, |s| s.tmr_multiplier);
+        assert_eq!(&long[..20], &short[..]);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! as a function of pulse width and drive, and the inverse problem of
 //! choosing a pulse for a target error rate.
 
-use rand::Rng;
+use rand::{Rng, SeedableRng};
 use units::{Current, Time};
 
 use crate::device::{Mtj, WritePolarity};
@@ -60,15 +60,15 @@ pub fn pulse_for_wer(model: &SwitchingModel, current: Current, target_wer: f64) 
     Time::from_seconds(tau * (1.0 / target_wer).ln())
 }
 
-/// Monte-Carlo estimate of the single-device WER by repeated stochastic
-/// writes — the empirical cross-check of the analytic rate.
-pub fn monte_carlo_wer<R: Rng + ?Sized>(
+/// Counts stochastic write failures over `trials` attempted writes —
+/// the kernel shared by [`monte_carlo_wer`] and the grid runner.
+pub fn count_write_failures<R: Rng + ?Sized>(
     params: &MtjParams,
     current: Current,
     pulse: Time,
     trials: usize,
     rng: &mut R,
-) -> f64 {
+) -> usize {
     let step = Time::from_seconds((pulse.seconds() / 64.0).max(1e-12));
     let mut failures = 0usize;
     for _ in 0..trials {
@@ -86,7 +86,93 @@ pub fn monte_carlo_wer<R: Rng + ?Sized>(
             failures += 1;
         }
     }
-    failures as f64 / trials as f64
+    failures
+}
+
+/// Monte-Carlo estimate of the single-device WER by repeated stochastic
+/// writes — the empirical cross-check of the analytic rate.
+pub fn monte_carlo_wer<R: Rng + ?Sized>(
+    params: &MtjParams,
+    current: Current,
+    pulse: Time,
+    trials: usize,
+    rng: &mut R,
+) -> f64 {
+    count_write_failures(params, current, pulse, trials, rng) as f64 / trials as f64
+}
+
+/// One Monte-Carlo WER estimate at a `(current, pulse)` grid point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WerEstimate {
+    /// Drive current of this grid point.
+    pub current: Current,
+    /// Pulse width of this grid point.
+    pub pulse: Time,
+    /// Attempted writes.
+    pub trials: usize,
+    /// Writes that failed to reverse the free layer.
+    pub failures: usize,
+}
+
+impl WerEstimate {
+    /// The estimated write error rate, `failures / trials`.
+    #[must_use]
+    pub fn wer(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.failures as f64 / self.trials as f64
+        }
+    }
+}
+
+/// Monte-Carlo WER over a `(current, pulse)` grid, fanned out over a
+/// [`sweep`] worker pool.
+///
+/// Each grid point runs its `trials` stochastic writes with a private
+/// `StdRng` seeded from the point's counter-derived
+/// [`sweep::point_seed`], so the returned estimates are
+/// **bit-identical for every `jobs` value** (`0` = auto, `1` = serial).
+/// Results come back in grid order alongside the pool's
+/// [`sweep::RunSummary`].
+///
+/// # Examples
+///
+/// ```
+/// use mtj::{wer, MtjParams};
+/// use units::{Current, Time};
+///
+/// let p = MtjParams::date2018();
+/// let points = vec![
+///     (p.nominal_write_current(), Time::from_nano_seconds(2.0)),
+///     (p.nominal_write_current(), Time::from_nano_seconds(6.0)),
+/// ];
+/// let (estimates, _) = wer::monte_carlo_wer_grid(&p, &points, 200, 17, 2);
+/// assert!(estimates[1].wer() <= estimates[0].wer());
+/// ```
+pub fn monte_carlo_wer_grid(
+    params: &MtjParams,
+    points: &[(Current, Time)],
+    trials: usize,
+    seed: u64,
+    jobs: usize,
+) -> (Vec<WerEstimate>, sweep::RunSummary) {
+    let grid = sweep::Grid::with_seed(points.to_vec(), seed);
+    let opts = sweep::SweepOptions {
+        jobs,
+        span_label: "mtj.wer_point",
+        ..sweep::SweepOptions::default()
+    };
+    let outcome = sweep::run(&grid, &opts, |ctx, &(current, pulse)| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(ctx.seed);
+        WerEstimate {
+            current,
+            pulse,
+            trials,
+            failures: count_write_failures(params, current, pulse, trials, &mut rng),
+        }
+    });
+    (outcome.results, outcome.summary)
 }
 
 /// One row of a WER-vs-pulse characterization sweep.
@@ -181,6 +267,42 @@ mod tests {
             (empirical - analytic).abs() < 0.04,
             "empirical {empirical} vs analytic {analytic}"
         );
+    }
+
+    #[test]
+    fn wer_grid_is_bit_identical_across_worker_counts() {
+        let (p, m) = setup();
+        let i = p.nominal_write_current();
+        let points: Vec<(Current, Time)> = (1..=6)
+            .map(|k| (i, m.mean_switching_time(i) * f64::from(k) * 0.5))
+            .collect();
+        let (serial, _) = monte_carlo_wer_grid(&p, &points, 150, 23, 1);
+        for jobs in [2, 4] {
+            let (parallel, summary) = monte_carlo_wer_grid(&p, &points, 150, 23, jobs);
+            assert_eq!(parallel, serial, "jobs = {jobs}");
+            assert_eq!(summary.points, 6);
+        }
+        // Estimates come back in grid order; over the 2.5τ span the
+        // decay dominates the 150-trial sampling noise.
+        assert!(serial[5].wer() < serial[0].wer());
+    }
+
+    #[test]
+    fn wer_estimate_divides_failures_by_trials() {
+        let (p, _) = setup();
+        let est = WerEstimate {
+            current: p.nominal_write_current(),
+            pulse: Time::from_nano_seconds(2.0),
+            trials: 200,
+            failures: 50,
+        };
+        assert!((est.wer() - 0.25).abs() < 1e-12);
+        let empty = WerEstimate {
+            trials: 0,
+            failures: 0,
+            ..est
+        };
+        assert_eq!(empty.wer(), 0.0);
     }
 
     #[test]

@@ -1,0 +1,116 @@
+//! Worker-local keyed caches for expensive job state.
+//!
+//! A [`LazyPool`] is a lazily-populated map each worker owns privately
+//! (it is handed out via the `make_state` hook of
+//! [`run_with_state`](crate::run_with_state), so no synchronization is
+//! involved). The canonical use is a pool of `SimulationSession`s
+//! keyed by circuit topology: the first job needing a topology builds
+//! the session (cloned circuit, fresh workspace); every later job on
+//! the same worker reuses it, keeping solver allocations amortized
+//! across the whole sweep.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A lazily-built keyed pool of values, owned by one worker.
+///
+/// # Examples
+///
+/// ```
+/// let mut pool: sweep::LazyPool<&str, Vec<u8>> = sweep::LazyPool::new();
+/// let a = pool.get_or_build("latch", || vec![0; 16]);
+/// a[0] = 7;
+/// // Second lookup reuses the built value.
+/// assert_eq!(pool.get_or_build("latch", || unreachable!())[0], 7);
+/// assert_eq!(pool.builds(), 1);
+/// assert_eq!(pool.hits(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct LazyPool<K, V> {
+    entries: HashMap<K, V>,
+    builds: usize,
+    hits: usize,
+}
+
+impl<K: Eq + Hash, V> LazyPool<K, V> {
+    /// An empty pool.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            entries: HashMap::new(),
+            builds: 0,
+            hits: 0,
+        }
+    }
+
+    /// Returns the value for `key`, building it with `build` on first
+    /// use. Hits and builds are counted locally and mirrored to the
+    /// `sweep.pool_hit` / `sweep.pool_miss` telemetry counters.
+    pub fn get_or_build(&mut self, key: K, build: impl FnOnce() -> V) -> &mut V {
+        match self.entries.entry(key) {
+            std::collections::hash_map::Entry::Occupied(entry) => {
+                self.hits += 1;
+                telemetry::counter("sweep.pool_hit", 1);
+                entry.into_mut()
+            }
+            std::collections::hash_map::Entry::Vacant(entry) => {
+                self.builds += 1;
+                telemetry::counter("sweep.pool_miss", 1);
+                entry.insert(build())
+            }
+        }
+    }
+
+    /// Number of distinct keys built so far.
+    #[must_use]
+    pub fn builds(&self) -> usize {
+        self.builds
+    }
+
+    /// Number of lookups served from an already-built entry.
+    #[must_use]
+    pub fn hits(&self) -> usize {
+        self.hits
+    }
+
+    /// Number of live entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the pool holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_once_per_key_and_counts_hits() {
+        let mut pool = LazyPool::new();
+        let mut built = 0;
+        for key in [1, 2, 1, 1, 2] {
+            let _ = pool.get_or_build(key, || {
+                built += 1;
+                key * 100
+            });
+        }
+        assert_eq!(built, 2);
+        assert_eq!(pool.builds(), 2);
+        assert_eq!(pool.hits(), 3);
+        assert_eq!(pool.len(), 2);
+        assert_eq!(*pool.get_or_build(2, || 0), 200);
+    }
+
+    #[test]
+    fn empty_pool_reports_empty() {
+        let pool: LazyPool<u8, u8> = LazyPool::new();
+        assert!(pool.is_empty());
+        assert_eq!(pool.len(), 0);
+    }
+}

@@ -39,12 +39,14 @@ fi
 echo "==> cargo test (workspace)"
 cargo test --offline --workspace -q
 
-echo "==> telemetry smoke: table2 --quick --json"
+echo "==> telemetry smoke: table2 --quick --json --jobs 2"
 smoke_json="target/ci_smoke_report.json"
 smoke_trace="target/ci_smoke_trace.jsonl"
 cargo build --offline -q -p nvff-bench --bin table2 -p telemetry --example validate
+# --jobs 2 exercises the parallel sweep path: the run report gains its
+# parallel.* section and the JSONL trace carries per-worker job spans.
 NVFF_TRACE="jsonl:$smoke_trace" \
-    cargo run --offline -q -p nvff-bench --bin table2 -- --quick --json "$smoke_json" \
+    cargo run --offline -q -p nvff-bench --bin table2 -- --quick --json "$smoke_json" --jobs 2 \
     >/dev/null
 # Validate both outputs with the telemetry crate's own JSON reader — no
 # external JSON tooling, keeping the gate offline-safe.

@@ -16,6 +16,7 @@
 //! | [`units`] | typed physical quantities |
 //! | [`mtj`] | MTJ compact model (resistance, switching, variation) |
 //! | [`spice`] | MNA circuit simulator (OP, DC sweep, transient) |
+//! | [`sweep`] | deterministic parallel sweep / Monte-Carlo execution engine |
 //! | [`cells`] | the standard 1-bit and proposed 2-bit NV latch circuits |
 //! | [`layout`] | procedural cell layout, areas, SVG |
 //! | [`netlist`] | gate-level IR + synthetic ISCAS/ITC/or1200 benchmarks |
@@ -53,6 +54,7 @@ pub use netlist;
 pub use nvff;
 pub use place;
 pub use spice;
+pub use sweep;
 pub use units;
 
 /// The most common items in one import.

@@ -1,0 +1,190 @@
+//! Determinism of the parallel sweep engine across the real simulation
+//! stack: the same grid must produce bit-identical results — and
+//! identical aggregated solver accounting — for every worker count.
+
+use mtj::{montecarlo, wer, MtjParams, VariationModel};
+use spintronic_ff::prelude::*;
+use units::{Current, Time};
+
+/// The tentpole guarantee: a Monte-Carlo WER grid returns bit-identical
+/// estimates at `--jobs` 1, 4 and 8, and the aggregated trial counts
+/// match the grid arithmetic exactly.
+#[test]
+fn wer_grid_is_bit_identical_at_jobs_1_4_8() {
+    let params = MtjParams::date2018();
+    let model = mtj::SwitchingModel::new(&params);
+    let drive = params.nominal_write_current();
+    let tau = model.mean_switching_time(drive);
+    let points: Vec<(Current, Time)> = (1..=8).map(|k| (drive, tau * f64::from(k))).collect();
+    let trials = 120;
+
+    let (serial, serial_summary) = wer::monte_carlo_wer_grid(&params, &points, trials, 99, 1);
+    assert_eq!(serial_summary.workers, 1);
+    for jobs in [4, 8] {
+        let (parallel, summary) = wer::monte_carlo_wer_grid(&params, &points, trials, 99, jobs);
+        assert_eq!(parallel, serial, "jobs = {jobs}");
+        assert_eq!(summary.points, points.len());
+        // Aggregated sample counts are exact, not approximate: every
+        // point ran all its trials exactly once.
+        let total_trials: usize = parallel.iter().map(|e| e.trials).sum();
+        assert_eq!(total_trials, points.len() * trials);
+    }
+}
+
+/// Monte-Carlo device sampling: parallel fan-out equals the serial walk
+/// draw-for-draw, because draw `i` owns the counter seed `(seed, i)`.
+#[test]
+fn device_montecarlo_is_bit_identical_across_worker_counts() {
+    let nominal = MtjParams::date2018();
+    let variation = VariationModel::default();
+    let serial = montecarlo::run(&nominal, &variation, 400, 31, |s| {
+        s.params.resistance_antiparallel().ohms() - s.params.resistance_parallel().ohms()
+    });
+    for jobs in [1, 4, 8] {
+        let (parallel, _) = montecarlo::run_parallel(&nominal, &variation, 400, 31, jobs, |s| {
+            s.params.resistance_antiparallel().ohms() - s.params.resistance_parallel().ohms()
+        });
+        assert_eq!(parallel, serial, "jobs = {jobs}");
+    }
+}
+
+/// Corner characterization over the full simulation stack: metrics and
+/// per-corner solver stats are identical at one and two workers, and
+/// the aggregated SolverStats fold to the same totals.
+#[test]
+fn corner_characterization_is_worker_count_independent() {
+    let corners = [Corner::slow(), Corner::typical(), Corner::fast()];
+    let base = LatchConfig::default();
+    let serial = cells::LatchComparison::evaluate_with_jobs(&base, &corners, 1).expect("serial");
+    let parallel =
+        cells::LatchComparison::evaluate_with_jobs(&base, &corners, 2).expect("parallel");
+
+    assert_eq!(serial.standard, parallel.standard);
+    assert_eq!(serial.proposed, parallel.proposed);
+    assert_eq!(serial.parallel.workers, 1);
+    assert_eq!(parallel.parallel.workers, 2);
+
+    let fold = |rows: &[(Corner, cells::CellMetrics)]| {
+        let mut total = spice::SolverStats::default();
+        for (_, m) in rows {
+            total.accumulate(m.solver);
+        }
+        total
+    };
+    assert_eq!(fold(&serial.standard), fold(&parallel.standard));
+    assert_eq!(fold(&serial.proposed), fold(&parallel.proposed));
+}
+
+/// SolverStats aggregation is a commutative, associative fold
+/// (saturating adds on u64 counters), so accumulating in *any* order —
+/// grid order, completion order, reversed — produces the same totals.
+/// The collector returns grid order regardless; this pins the algebraic
+/// property that makes the aggregate worker-count independent.
+#[test]
+fn solver_stats_fold_is_order_independent() {
+    let stats: Vec<spice::SolverStats> = (0..12u64)
+        .map(|k| spice::SolverStats {
+            newton_iterations: k * 17 + 1,
+            lu_factorizations: k * 5 + 2,
+            accepted_steps: k * 31,
+            rejected_steps: k % 3,
+            step_halvings: k % 2,
+        })
+        .collect();
+    let fold = |order: &[usize]| {
+        let mut total = spice::SolverStats::default();
+        for &i in order {
+            total.accumulate(stats[i]);
+        }
+        total
+    };
+    let grid_order: Vec<usize> = (0..stats.len()).collect();
+    let reversed: Vec<usize> = grid_order.iter().rev().copied().collect();
+    let interleaved: Vec<usize> = (0..stats.len())
+        .map(|i| {
+            if i % 2 == 0 {
+                i / 2
+            } else {
+                stats.len() - 1 - i / 2
+            }
+        })
+        .collect();
+    let reference = fold(&grid_order);
+    assert_eq!(fold(&reversed), reference);
+    assert_eq!(fold(&interleaved), reference);
+
+    // Saturation keeps the fold well-defined even at the ceiling: order
+    // still cannot change a saturated total.
+    let big = spice::SolverStats {
+        newton_iterations: u64::MAX - 5,
+        ..spice::SolverStats::default()
+    };
+    let mut a = spice::SolverStats::default();
+    a.accumulate(big);
+    a.accumulate(stats[3]);
+    let mut b = spice::SolverStats::default();
+    b.accumulate(stats[3]);
+    b.accumulate(big);
+    assert_eq!(a, b);
+    assert_eq!(a.newton_iterations, u64::MAX);
+}
+
+/// A checkpointed WER campaign resumes bit-identically mid-grid, over
+/// the real stochastic-write workload.
+#[test]
+fn checkpointed_wer_campaign_resumes_bit_identically() {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let params = MtjParams::date2018();
+    let model = mtj::SwitchingModel::new(&params);
+    let drive = params.nominal_write_current();
+    let tau = model.mean_switching_time(drive);
+    let points: Vec<(Current, Time)> = (1..=6).map(|k| (drive, tau * f64::from(k))).collect();
+    let trials = 60;
+    let seed = 7u64;
+
+    let dir = std::env::temp_dir().join(format!("nvff-parallel-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("wer.ckpt.json");
+    let _ = std::fs::remove_file(&path);
+
+    let job = |(): &mut (), ctx: &sweep::JobCtx, &(current, pulse): &(Current, Time)| {
+        let mut rng = StdRng::seed_from_u64(ctx.seed);
+        wer::count_write_failures(&params, current, pulse, trials, &mut rng) as u64
+    };
+    let grid = sweep::Grid::with_seed(points.clone(), seed);
+    let policy = sweep::CheckpointPolicy {
+        path: path.clone(),
+        every: 1,
+        fingerprint: sweep::fingerprint("wer-resume-test"),
+    };
+
+    let full = sweep::run_checkpointed(
+        &grid,
+        &sweep::SweepOptions::with_jobs(2),
+        &policy,
+        |_| (),
+        job,
+        None,
+    )
+    .expect("full run");
+    // The uncheckpointed engine agrees with the checkpointed one.
+    let (direct, _) = wer::monte_carlo_wer_grid(&params, &points, trials, seed, 1);
+    let direct_failures: Vec<u64> = direct.iter().map(|e| e.failures as u64).collect();
+    assert_eq!(full.results, direct_failures);
+
+    // Rerun from the completed checkpoint: everything restores.
+    let resumed = sweep::run_checkpointed(
+        &grid,
+        &sweep::SweepOptions::with_jobs(4),
+        &policy,
+        |_| (),
+        job,
+        None,
+    )
+    .expect("resume");
+    assert_eq!(resumed.results, full.results);
+    assert_eq!(resumed.summary.resumed, points.len());
+    let _ = std::fs::remove_file(&path);
+}
