@@ -1,0 +1,53 @@
+//! Solver-engine benchmark: the static-symbolic sparse LU against the
+//! dense partial-pivoted LU, on the single hottest simulation of the
+//! Table II sweep — one proposed-latch restore transient.
+//!
+//! Both variants run the identical workload through a warm
+//! [`SimulationSession`] (snapshot-rewound between iterations), so the
+//! ratio isolates the per-iteration assemble + factor + solve cost:
+//! the dense engine eliminates the full n×n matrix every Newton
+//! iteration, the sparse engine refactors in the frozen pattern and
+//! pays one symbolic build per analysis.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cells::{LatchConfig, ProposedLatch};
+use spice::analysis::{self, StartCondition, TransientOptions};
+use spice::{SimulationSession, SolverKind};
+
+fn cold_start_options() -> TransientOptions {
+    TransientOptions {
+        start: StartCondition::Zero,
+        ..TransientOptions::default()
+    }
+}
+
+fn bench_restore_solvers(c: &mut Criterion) {
+    let latch = ProposedLatch::new(LatchConfig::default());
+    let step = latch.config().time_step;
+    for (name, solver) in [
+        ("proposed_restore_dense_lu", SolverKind::Dense),
+        ("proposed_restore_sparse_lu", SolverKind::Sparse),
+    ] {
+        let (ckt, controls) = latch.restore_circuit([true, false]).expect("build");
+        let snap = ckt.snapshot();
+        let mut session = SimulationSession::with_solver(ckt, solver);
+        c.bench_function(name, |b| {
+            b.iter(|| {
+                session.circuit_mut().restore(&snap);
+                let result = session
+                    .transient_with_options(controls.total, step, cold_start_options())
+                    .expect("restore transient");
+                black_box(result.sample_count())
+            });
+        });
+        // The two engines agree on the physics (pinned at tolerance in
+        // the spice crate's `sparse_equivalence` suite), so the timing
+        // ratio is pure solver cost.
+        black_box(analysis::mtj_states(session.circuit()));
+    }
+}
+
+criterion_group!(benches, bench_restore_solvers);
+criterion_main!(benches);

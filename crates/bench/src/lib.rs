@@ -80,7 +80,7 @@ pub fn push_parallel_summary(section: &mut telemetry::Section, summary: &sweep::
     section.push("parallel.speedup", summary.speedup());
 }
 
-/// Appends the five [`spice::SolverStats`] counters to a run-report
+/// Appends the six [`spice::SolverStats`] counters to a run-report
 /// section under `<prefix>` names — the bench side of the telemetry
 /// boundary (the telemetry crate stays ignorant of solver types).
 pub fn push_solver_stats(
@@ -99,6 +99,7 @@ pub fn push_solver_stats(
     section.push(&format!("{prefix}accepted_steps"), stats.accepted_steps);
     section.push(&format!("{prefix}rejected_steps"), stats.rejected_steps);
     section.push(&format!("{prefix}step_halvings"), stats.step_halvings);
+    section.push(&format!("{prefix}pattern_reuses"), stats.pattern_reuses);
 }
 
 /// Formats a measured-vs-paper comparison line: value, reference, and

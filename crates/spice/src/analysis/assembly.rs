@@ -18,7 +18,7 @@
 
 use crate::circuit::Circuit;
 use crate::device::Device;
-use crate::linalg::DenseMatrix;
+use crate::linalg::{DenseMatrix, SparsePattern};
 
 use super::{Integrator, GMIN_FLOOR};
 
@@ -27,8 +27,55 @@ pub(super) fn vof(x: &[f64], idx: Option<usize>) -> f64 {
     idx.map_or(0.0, |i| x[i])
 }
 
+/// The assembly target a stamp writes its matrix entries into: the
+/// dense MNA matrix, the CSR value array of a frozen [`SparsePattern`],
+/// or a structure probe that records which `(row, col)` pairs a stamp
+/// *could* touch (used once at plan-build time to freeze the pattern).
+///
+/// An enum rather than a generic keeps [`Stamp`] object-safe — the plan
+/// stores `Box<dyn Stamp>` — at the cost of one predictable branch per
+/// matrix add.
+pub(super) enum MatrixRef<'a> {
+    /// Stamp into a dense matrix (the oracle path).
+    Dense(&'a mut DenseMatrix),
+    /// Stamp into the CSR values backing a frozen pattern.
+    Sparse {
+        pattern: &'a SparsePattern,
+        values: &'a mut Vec<f64>,
+    },
+    /// Record structural positions only; values are ignored.
+    Probe(&'a mut Vec<(u32, u32)>),
+}
+
+impl MatrixRef<'_> {
+    /// Adds `value` at (`row`, `col`) — the stamp primitive.
+    #[inline]
+    pub(super) fn add(&mut self, row: usize, col: usize, value: f64) {
+        match self {
+            MatrixRef::Dense(a) => a.add(row, col, value),
+            MatrixRef::Sparse { pattern, values } => pattern.add_into(values, row, col, value),
+            MatrixRef::Probe(entries) => entries.push((row as u32, col as u32)),
+        }
+    }
+
+    /// Resets every entry to zero, keeping allocations (no-op for the
+    /// probe, which accumulates positions).
+    fn clear(&mut self) {
+        match self {
+            MatrixRef::Dense(a) => a.clear(),
+            MatrixRef::Sparse { values, .. } => values.fill(0.0),
+            MatrixRef::Probe(_) => {}
+        }
+    }
+}
+
 /// Conductance stamp between two (possibly ground) nodes.
-pub(super) fn stamp_conductance(a: &mut DenseMatrix, ia: Option<usize>, ib: Option<usize>, g: f64) {
+pub(super) fn stamp_conductance(
+    a: &mut MatrixRef<'_>,
+    ia: Option<usize>,
+    ib: Option<usize>,
+    g: f64,
+) {
     if let Some(i) = ia {
         a.add(i, i, g);
         if let Some(j) = ib {
@@ -51,7 +98,7 @@ pub(super) fn stamp_conductance(a: &mut DenseMatrix, ia: Option<usize>, ib: Opti
 /// read through it on every call.
 pub(super) trait Stamp: std::fmt::Debug + Send + Sync {
     /// Adds this device's linearized equations at iterate `x`, time `t`.
-    fn stamp(&self, ckt: &Circuit, x: &[f64], t: f64, a: &mut DenseMatrix, z: &mut [f64]);
+    fn stamp(&self, ckt: &Circuit, x: &[f64], t: f64, a: &mut MatrixRef<'_>, z: &mut [f64]);
 }
 
 #[derive(Debug)]
@@ -62,7 +109,7 @@ struct ResistorStamp {
 }
 
 impl Stamp for ResistorStamp {
-    fn stamp(&self, ckt: &Circuit, _x: &[f64], _t: f64, a: &mut DenseMatrix, _z: &mut [f64]) {
+    fn stamp(&self, ckt: &Circuit, _x: &[f64], _t: f64, a: &mut MatrixRef<'_>, _z: &mut [f64]) {
         let Device::Resistor { ohms, .. } = &ckt.devices()[self.dev] else {
             unreachable!("stamp plan out of sync with circuit");
         };
@@ -79,7 +126,7 @@ struct VoltageSourceStamp {
 }
 
 impl Stamp for VoltageSourceStamp {
-    fn stamp(&self, ckt: &Circuit, _x: &[f64], t: f64, a: &mut DenseMatrix, z: &mut [f64]) {
+    fn stamp(&self, ckt: &Circuit, _x: &[f64], t: f64, a: &mut MatrixRef<'_>, z: &mut [f64]) {
         let Device::VoltageSource { wave, .. } = &ckt.devices()[self.dev] else {
             unreachable!("stamp plan out of sync with circuit");
         };
@@ -103,7 +150,7 @@ struct CurrentSourceStamp {
 }
 
 impl Stamp for CurrentSourceStamp {
-    fn stamp(&self, ckt: &Circuit, _x: &[f64], t: f64, _a: &mut DenseMatrix, z: &mut [f64]) {
+    fn stamp(&self, ckt: &Circuit, _x: &[f64], t: f64, _a: &mut MatrixRef<'_>, z: &mut [f64]) {
         let Device::CurrentSource { wave, .. } = &ckt.devices()[self.dev] else {
             unreachable!("stamp plan out of sync with circuit");
         };
@@ -126,7 +173,7 @@ struct MosfetStamp {
 }
 
 impl Stamp for MosfetStamp {
-    fn stamp(&self, ckt: &Circuit, x: &[f64], _t: f64, a: &mut DenseMatrix, z: &mut [f64]) {
+    fn stamp(&self, ckt: &Circuit, x: &[f64], _t: f64, a: &mut MatrixRef<'_>, z: &mut [f64]) {
         let Device::Mosfet { model, w, l, .. } = &ckt.devices()[self.dev] else {
             unreachable!("stamp plan out of sync with circuit");
         };
@@ -169,7 +216,7 @@ struct MtjStamp {
 }
 
 impl Stamp for MtjStamp {
-    fn stamp(&self, ckt: &Circuit, x: &[f64], _t: f64, a: &mut DenseMatrix, _z: &mut [f64]) {
+    fn stamp(&self, ckt: &Circuit, x: &[f64], _t: f64, a: &mut MatrixRef<'_>, _z: &mut [f64]) {
         let Device::Mtj { device, .. } = &ckt.devices()[self.dev] else {
             unreachable!("stamp plan out of sync with circuit");
         };
@@ -228,6 +275,11 @@ pub(crate) struct StampPlan {
     pub(super) n_nodes: usize,
     pub(super) n_unknowns: usize,
     device_count: usize,
+    /// Structural nonzero pattern of the assembled matrix, frozen at
+    /// plan-build time by a probe assembly pass with companions armed —
+    /// a superset shared by op, DC and transient assembly (companion
+    /// slots simply hold exact zeros outside transients).
+    pub(super) sparse: SparsePattern,
 }
 
 impl StampPlan {
@@ -331,7 +383,7 @@ impl StampPlan {
             }
         }
         branches.sort_by(|l, r| l.0.cmp(&r.0));
-        Self {
+        let mut plan = Self {
             stamps,
             caps,
             mtjs,
@@ -340,7 +392,36 @@ impl StampPlan {
             n_nodes,
             n_unknowns: ckt.unknown_count(),
             device_count: ckt.devices().len(),
-        }
+            sparse: SparsePattern::default(),
+        };
+        // Probe pass: run one assembly with a position-recording target
+        // to freeze the structural pattern. Companions are armed (any
+        // positive dt works — values are discarded) so the pattern
+        // covers transient assembly too; `x = 0` is safe because stamp
+        // *structure* is bias-independent. Voltage-source branch rows
+        // have no diagonal, so the gmin loop must span only node rows,
+        // exactly as `assemble` stamps it.
+        let x = vec![0.0; plan.n_unknowns];
+        let mut z = vec![0.0; plan.n_unknowns];
+        let states = vec![CapState::default(); plan.caps.len()];
+        let companions = Companions {
+            states: &states,
+            integrator: Integrator::BackwardEuler,
+            dt: 1.0,
+        };
+        let mut entries = Vec::new();
+        assemble(
+            &plan,
+            ckt,
+            &x,
+            0.0,
+            GMIN_FLOOR,
+            Some(&companions),
+            &mut MatrixRef::Probe(&mut entries),
+            &mut z,
+        );
+        plan.sparse = SparsePattern::from_entries(plan.n_unknowns, entries);
+        plan
     }
 
     /// Whether the circuit's topology no longer matches this plan
@@ -363,7 +444,7 @@ pub(super) fn assemble(
     t: f64,
     gmin: f64,
     companions: Option<&Companions<'_>>,
-    a: &mut DenseMatrix,
+    a: &mut MatrixRef<'_>,
     z: &mut [f64],
 ) {
     a.clear();

@@ -54,7 +54,7 @@ pub mod reference;
 mod session;
 mod transient;
 
-pub use session::{SimulationSession, SolverStats};
+pub use session::{SimulationSession, SolverKind, SolverStats};
 
 use assembly::StampPlan;
 use session::Workspace;
@@ -170,7 +170,7 @@ impl OpResult {
 /// shunt.
 pub fn op(ckt: &mut Circuit) -> Result<OpResult, SpiceError> {
     let plan = StampPlan::build(ckt);
-    let mut ws = Workspace::for_plan(&plan);
+    let mut ws = Workspace::for_plan(&plan, SolverKind::from_env());
     newton::op_core(&plan, ckt, &mut ws)
 }
 
@@ -192,7 +192,7 @@ pub fn dc_sweep(
     values: &[f64],
 ) -> Result<Vec<OpResult>, SpiceError> {
     let plan = StampPlan::build(ckt);
-    let mut ws = Workspace::for_plan(&plan);
+    let mut ws = Workspace::for_plan(&plan, SolverKind::from_env());
     newton::run_dc_sweep(&plan, ckt, &mut ws, source, values)
 }
 
@@ -231,7 +231,7 @@ pub fn transient_with_options(
     options: TransientOptions,
 ) -> Result<TransientResult, SpiceError> {
     let plan = StampPlan::build(ckt);
-    let mut ws = Workspace::for_plan(&plan);
+    let mut ws = Workspace::for_plan(&plan, SolverKind::from_env());
     transient::run(&plan, ckt, &mut ws, stop, step, options)
 }
 
@@ -266,6 +266,7 @@ mod tests {
             accepted_steps: 20,
             rejected_steps: 30,
             step_halvings: 40,
+            pattern_reuses: 50,
         };
         let b = SolverStats {
             newton_iterations: 5,
@@ -273,6 +274,7 @@ mod tests {
             accepted_steps: 7,
             rejected_steps: 8,
             step_halvings: u64::MAX,
+            pattern_reuses: 9,
         };
         a.accumulate(b);
         assert_eq!(a.newton_iterations, u64::MAX, "saturates, no wrap");
@@ -280,8 +282,42 @@ mod tests {
         assert_eq!(a.accepted_steps, 27);
         assert_eq!(a.rejected_steps, 38);
         assert_eq!(a.step_halvings, u64::MAX, "saturates, no wrap");
+        assert_eq!(a.pattern_reuses, 59);
         // `+` delegates to accumulate, so the two stay consistent.
         assert_eq!(b + SolverStats::default(), b);
+    }
+
+    /// Regression (bugfix PR): `SolverStats::Sub` used raw `u64`
+    /// subtraction, which panicked in debug builds whenever a saturated
+    /// (or otherwise non-monotone-looking) counter produced a smaller
+    /// "after" snapshot. The delta must saturate at zero instead.
+    #[test]
+    fn solver_stats_sub_saturates_instead_of_panicking() {
+        let before = SolverStats {
+            newton_iterations: u64::MAX,
+            lu_factorizations: 7,
+            accepted_steps: 3,
+            rejected_steps: 0,
+            step_halvings: 1,
+            pattern_reuses: 4,
+        };
+        let mut after = before;
+        // A saturated counter stays pegged while real work happened.
+        after.accumulate(SolverStats {
+            newton_iterations: 100,
+            lu_factorizations: 0,
+            accepted_steps: 2,
+            rejected_steps: 0,
+            step_halvings: 0,
+            pattern_reuses: 0,
+        });
+        let delta = after - before;
+        assert_eq!(delta.newton_iterations, 0, "pegged counter yields 0");
+        assert_eq!(delta.accepted_steps, 2);
+        // The pathological direction (rhs larger) also saturates rather
+        // than underflowing.
+        let zero = SolverStats::default() - before;
+        assert_eq!(zero, SolverStats::default());
     }
 
     #[test]
@@ -581,6 +617,65 @@ mod tests {
             })
             .expect("source");
         assert_eq!(wave, SourceWaveform::Dc(1.0));
+    }
+
+    #[test]
+    fn dc_sweep_rejects_duplicate_source_names() {
+        // Regression: with two sources sharing a name, `set_source_dc`
+        // overwrote the first match while `restore_source` returned
+        // after the first restore — a silent asymmetry once the two
+        // loops disagreed. The sweep now refuses ambiguous names up
+        // front.
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add_voltage_source("V1", a, Circuit::GROUND, SourceWaveform::dc(volts(1.0)))
+            .expect("V1");
+        ckt.add_voltage_source("V2", b, Circuit::GROUND, SourceWaveform::dc(volts(2.0)))
+            .expect("V2");
+        ckt.add_resistor("R1", a, b, Resistance::from_ohms(100.0))
+            .expect("R1");
+        ckt.add_resistor("R2", b, Circuit::GROUND, Resistance::from_ohms(100.0))
+            .expect("R2");
+        // The circuit builder enforces unique names, so forge the
+        // duplicate directly on the device list.
+        for dev in ckt.devices_mut() {
+            if let Device::VoltageSource { name, .. } = dev {
+                if name == "V2" {
+                    "V1".clone_into(name);
+                }
+            }
+        }
+        let err = dc_sweep(&mut ckt, "V1", &[0.0, 0.5]).expect_err("ambiguous name");
+        match err {
+            SpiceError::InvalidAnalysis { reason } => {
+                assert!(reason.contains("matches 2"), "reason = {reason}");
+            }
+            other => panic!("expected InvalidAnalysis, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn transient_final_sample_lands_exactly_on_stop() {
+        // Regression: `t += dt` accumulation drifted by an ulp per step,
+        // leaving the final sample at `stop − ulp` (or spawning a
+        // sliver-sized extra step past it) whenever `stop` is not an
+        // exact multiple of `step` — here 1 ns in 30 ps steps.
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.add_voltage_source("V1", a, Circuit::GROUND, SourceWaveform::dc(volts(1.0)))
+            .expect("V1");
+        ckt.add_resistor("R1", a, Circuit::GROUND, Resistance::from_ohms(1000.0))
+            .expect("R1");
+        let stop = Time::from_nano_seconds(1.0);
+        let res = transient(&mut ckt, stop, Time::from_pico_seconds(30.0)).expect("tran");
+        let last = *res.times().last().expect("samples");
+        assert_eq!(
+            last.to_bits(),
+            stop.seconds().to_bits(),
+            "final sample at {last:e}, stop at {:e}",
+            stop.seconds()
+        );
     }
 
     #[test]

@@ -10,11 +10,25 @@
 use crate::circuit::Circuit;
 use crate::device::Device;
 use crate::error::SpiceError;
-use crate::linalg::{DenseMatrix, LuScratch};
+use crate::linalg::{DenseMatrix, LuScratch, SparseSolveOutcome, SymbolicLu};
 
-use super::assembly::{assemble, Companions, StampPlan};
+use super::assembly::{assemble, Companions, MatrixRef, StampPlan};
 use super::session::{SolverStats, Workspace};
 use super::{OpResult, ABSTOL, GMIN_FLOOR, RELTOL, VNTOL, VSTEP_MAX};
+
+/// The LU engine's per-solve storage: either the dense matrix plus its
+/// factorization scratch, or the CSR values plus the symbolic object
+/// whose frozen pattern they are refactored in.
+pub(super) enum EngineBufs<'w> {
+    Dense {
+        a: &'w mut DenseMatrix,
+        lu: &'w mut LuScratch,
+    },
+    Sparse {
+        values: &'w mut Vec<f64>,
+        symbolic: &'w mut SymbolicLu,
+    },
+}
 
 /// Mutable views over the workspace fields the Newton solver touches.
 ///
@@ -22,12 +36,11 @@ use super::{OpResult, ABSTOL, GMIN_FLOOR, RELTOL, VNTOL, VSTEP_MAX};
 /// can hold the capacitor histories separately — see
 /// [`Workspace::split`].
 pub(super) struct SolverBufs<'w> {
-    pub a: &'w mut DenseMatrix,
+    pub engine: EngineBufs<'w>,
     pub z: &'w mut Vec<f64>,
     pub x: &'w mut Vec<f64>,
     pub x_new: &'w mut Vec<f64>,
     pub x_save: &'w mut Vec<f64>,
-    pub lu: &'w mut LuScratch,
     pub stats: &'w mut SolverStats,
 }
 
@@ -74,14 +87,51 @@ pub(super) fn newton(
     let tel = telemetry::enabled();
 
     for _iter in 0..max_iter {
-        assemble(plan, ckt, bufs.x, t, gmin, companions, bufs.a, bufs.z);
         bufs.stats.newton_iterations += 1;
         bufs.stats.lu_factorizations += 1;
-        // `assemble` rebuilds the matrix next iteration anyway, so let
-        // the factorization consume it in place instead of paying an
-        // n² working-copy memcpy per solve.
         let lu_timer = tel.then(std::time::Instant::now);
-        if !bufs.a.solve_in_place(bufs.z, bufs.lu, bufs.x_new) {
+        let solved = match &mut bufs.engine {
+            EngineBufs::Dense { a, lu } => {
+                let mut target = MatrixRef::Dense(a);
+                assemble(plan, ckt, bufs.x, t, gmin, companions, &mut target, bufs.z);
+                // `assemble` rebuilds the matrix next iteration anyway,
+                // so let the factorization consume it in place instead
+                // of paying an n² working-copy memcpy per solve.
+                a.solve_in_place(bufs.z, lu, bufs.x_new)
+            }
+            EngineBufs::Sparse { values, symbolic } => {
+                let mut target = MatrixRef::Sparse {
+                    pattern: &plan.sparse,
+                    values,
+                };
+                assemble(plan, ckt, bufs.x, t, gmin, companions, &mut target, bufs.z);
+                match symbolic.factor_and_solve(&plan.sparse, values, bufs.z, bufs.x_new) {
+                    None => false,
+                    Some(outcome) => {
+                        match outcome {
+                            SparseSolveOutcome::ReusedPattern => {
+                                bufs.stats.pattern_reuses += 1;
+                            }
+                            SparseSolveOutcome::Built => {
+                                telemetry::counter("spice.symbolic_builds", 1);
+                                if tel {
+                                    telemetry::histogram("spice.csr_nnz", plan.sparse.nnz() as f64);
+                                    telemetry::histogram("spice.lu_nnz", symbolic.lu_nnz() as f64);
+                                }
+                            }
+                            SparseSolveOutcome::Repivoted => {
+                                telemetry::counter("spice.repivots", 1);
+                                if tel {
+                                    telemetry::histogram("spice.lu_nnz", symbolic.lu_nnz() as f64);
+                                }
+                            }
+                        }
+                        true
+                    }
+                }
+            }
+        };
+        if !solved {
             return Err(SpiceError::SingularMatrix { analysis, time: t });
         }
         if let Some(start) = lu_timer {
@@ -201,14 +251,24 @@ pub(super) fn run_dc_sweep(
             reason: "dc sweep needs at least one source value".into(),
         });
     }
-    // Confirm the source exists before mutating anything.
-    let exists = ckt
+    // Confirm the source exists — and is unambiguous — before mutating
+    // anything. The builder API rejects duplicate device names, but
+    // `Circuit::devices_mut` allows renames, and a sweep over a
+    // duplicated name could not faithfully restore per-source waveforms
+    // afterwards (only one original is remembered).
+    let matches = ckt
         .devices()
         .iter()
-        .any(|d| matches!(d, Device::VoltageSource { name, .. } if name == source));
-    if !exists {
+        .filter(|d| matches!(d, Device::VoltageSource { name, .. } if name == source))
+        .count();
+    if matches == 0 {
         return Err(SpiceError::UnknownTrace {
             name: source.into(),
+        });
+    }
+    if matches > 1 {
+        return Err(SpiceError::InvalidAnalysis {
+            reason: format!("dc sweep source name {source:?} matches {matches} voltage sources"),
         });
     }
 
@@ -243,12 +303,12 @@ pub(super) fn run_dc_sweep(
                 results.push(r);
             }
             Err(e) => {
-                restore_source(ckt, source, original);
+                restore_source(ckt, source, &original);
                 return Err(e);
             }
         }
     }
-    restore_source(ckt, source, original);
+    restore_source(ckt, source, &original);
     Ok(results)
 }
 
@@ -262,16 +322,19 @@ pub(super) fn set_source_dc(ckt: &mut Circuit, source: &str, v: f64) {
     }
 }
 
+/// Restores the waveform of every source matching `source` — the exact
+/// mirror of [`set_source_dc`], which also updates every match. An
+/// early return after the first hit would leave later duplicates stuck
+/// at the final sweep value.
 pub(super) fn restore_source(
     ckt: &mut Circuit,
     source: &str,
-    original: crate::source::SourceWaveform,
+    original: &crate::source::SourceWaveform,
 ) {
     for d in ckt.devices_mut() {
         if let Device::VoltageSource { name, wave, .. } = d {
             if name == source {
-                *wave = original;
-                return;
+                *wave = original.clone();
             }
         }
     }

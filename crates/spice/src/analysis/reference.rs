@@ -418,12 +418,12 @@ pub fn dc_sweep(
                 results.push(op_result_from(ckt, &x));
             }
             Err(e) => {
-                super::newton::restore_source(ckt, source, original);
+                super::newton::restore_source(ckt, source, &original);
                 return Err(e);
             }
         }
     }
-    super::newton::restore_source(ckt, source, original);
+    super::newton::restore_source(ckt, source, &original);
     Ok(results)
 }
 
@@ -541,9 +541,10 @@ pub fn transient_with_options(
     let mut events: Vec<MtjEvent> = Vec::new();
 
     let mut t = 0.0_f64;
-    while t < stop_s - 1e-18 {
+    while t < stop_s {
         // Candidate step: nominal, clipped to breakpoints and the window.
-        let mut dt = dt_nominal.min(stop_s - t);
+        let remaining = stop_s - t;
+        let mut dt = dt_nominal.min(remaining);
         if let Some(bp) = next_breakpoint(ckt, t) {
             if bp > t + 1e-18 && bp < t + dt {
                 dt = bp - t;
@@ -573,7 +574,14 @@ pub fn transient_with_options(
                 }
             }
         };
-        t += dt_used;
+        // Snap the final step exactly onto the requested stop time,
+        // mirroring the session engine's fix (the two must stay
+        // bit-identical, time axis included).
+        t = if dt_used >= remaining {
+            stop_s
+        } else {
+            t + dt_used
+        };
         x = x_new;
 
         // Update capacitor history.

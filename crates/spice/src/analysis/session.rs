@@ -15,12 +15,44 @@ use units::Time;
 
 use crate::circuit::Circuit;
 use crate::error::SpiceError;
-use crate::linalg::{DenseMatrix, LuScratch};
+use crate::linalg::{DenseMatrix, LuScratch, SymbolicLu};
 use crate::result::TransientResult;
 
 use super::assembly::{CapState, StampPlan};
-use super::newton::SolverBufs;
+use super::newton::{EngineBufs, SolverBufs};
 use super::{newton, transient, OpResult, TransientOptions};
+
+/// Which LU engine a session's Newton solves run on.
+///
+/// [`SolverKind::Sparse`] is the default: a static symbolic
+/// factorization with a frozen pivot order, refactored in-pattern every
+/// iteration. [`SolverKind::Dense`] is the partial-pivoted dense LU the
+/// engine grew up on, kept as the correctness oracle and for
+/// pathological matrices where re-pivoting every iteration is worth its
+/// cost. The `NVFF_SOLVER=dense` environment variable flips the
+/// process-wide default, which is how the CI cross-checks the two paths
+/// on identical workloads.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum SolverKind {
+    /// Static-pattern sparse LU (symbolic factorization reused across
+    /// Newton iterations, automatic re-pivot on pivot decay).
+    #[default]
+    Sparse,
+    /// Dense LU with partial pivoting on every factorization.
+    Dense,
+}
+
+impl SolverKind {
+    /// Resolves the process default: `NVFF_SOLVER=dense` selects the
+    /// dense oracle, anything else (including unset) the sparse engine.
+    #[must_use]
+    pub fn from_env() -> Self {
+        match std::env::var("NVFF_SOLVER") {
+            Ok(v) if v.eq_ignore_ascii_case("dense") => Self::Dense,
+            _ => Self::Sparse,
+        }
+    }
+}
 
 /// Cumulative solver work counters.
 ///
@@ -40,6 +72,10 @@ pub struct SolverStats {
     pub rejected_steps: u64,
     /// Times a transient step was halved after a rejection.
     pub step_halvings: u64,
+    /// Factorizations that reused the frozen symbolic pattern (sparse
+    /// engine only; always 0 on the dense path). The gap between this
+    /// and `lu_factorizations` counts symbolic builds and re-pivots.
+    pub pattern_reuses: u64,
 }
 
 impl SolverStats {
@@ -57,6 +93,7 @@ impl SolverStats {
         self.accepted_steps = self.accepted_steps.saturating_add(other.accepted_steps);
         self.rejected_steps = self.rejected_steps.saturating_add(other.rejected_steps);
         self.step_halvings = self.step_halvings.saturating_add(other.step_halvings);
+        self.pattern_reuses = self.pattern_reuses.saturating_add(other.pattern_reuses);
     }
 }
 
@@ -79,13 +116,22 @@ impl AddAssign for SolverStats {
 impl Sub for SolverStats {
     type Output = Self;
 
+    /// Per-counter saturating difference. The before/after delta pattern
+    /// in `op_core`/`run_dc_sweep`/`transient::run` subtracts snapshots
+    /// of the same monotone counters, but once a cumulative counter has
+    /// saturated at `u64::MAX` via [`SolverStats::accumulate`] the later
+    /// snapshot can equal the earlier one while intermediate work was
+    /// done — a raw `-` would then panic in debug builds (and wrap in
+    /// release) for a counter that is merely pegged. Saturating at zero
+    /// keeps the delta well-defined.
     fn sub(self, rhs: Self) -> Self {
         Self {
-            newton_iterations: self.newton_iterations - rhs.newton_iterations,
-            lu_factorizations: self.lu_factorizations - rhs.lu_factorizations,
-            accepted_steps: self.accepted_steps - rhs.accepted_steps,
-            rejected_steps: self.rejected_steps - rhs.rejected_steps,
-            step_halvings: self.step_halvings - rhs.step_halvings,
+            newton_iterations: self.newton_iterations.saturating_sub(rhs.newton_iterations),
+            lu_factorizations: self.lu_factorizations.saturating_sub(rhs.lu_factorizations),
+            accepted_steps: self.accepted_steps.saturating_sub(rhs.accepted_steps),
+            rejected_steps: self.rejected_steps.saturating_sub(rhs.rejected_steps),
+            step_halvings: self.step_halvings.saturating_sub(rhs.step_halvings),
+            pattern_reuses: self.pattern_reuses.saturating_sub(rhs.pattern_reuses),
         }
     }
 }
@@ -94,7 +140,12 @@ impl Sub for SolverStats {
 /// is built, reused by every subsequent solve.
 #[derive(Debug)]
 pub(crate) struct Workspace {
+    pub(super) solver: SolverKind,
     pub(super) a: DenseMatrix,
+    /// CSR value array backing the plan's frozen pattern (sparse path).
+    pub(super) csr_values: Vec<f64>,
+    /// Symbolic factorization, built lazily on the first sparse solve.
+    pub(super) symbolic: SymbolicLu,
     pub(super) z: Vec<f64>,
     pub(super) x: Vec<f64>,
     pub(super) x_new: Vec<f64>,
@@ -105,11 +156,15 @@ pub(crate) struct Workspace {
 }
 
 impl Workspace {
-    /// Allocates buffers sized for `plan`'s system.
-    pub(crate) fn for_plan(plan: &StampPlan) -> Self {
+    /// Allocates buffers sized for `plan`'s system, solving with the
+    /// given engine.
+    pub(crate) fn for_plan(plan: &StampPlan, solver: SolverKind) -> Self {
         let n = plan.n_unknowns;
         Self {
+            solver,
             a: DenseMatrix::zeros(n),
+            csr_values: vec![0.0; plan.sparse.nnz()],
+            symbolic: SymbolicLu::new(),
             z: vec![0.0; n],
             x: vec![0.0; n],
             x_new: Vec::with_capacity(n),
@@ -124,9 +179,22 @@ impl Workspace {
     /// capacitor histories, so a transient can hold both mutably (the
     /// companion context borrows the histories while Newton owns the
     /// rest).
+    ///
+    /// Called exactly once per top-level analysis, which makes it the
+    /// seam for dropping the frozen pivot order: every analysis starts
+    /// from a cold symbolic factorization, so its solver stats are a
+    /// pure function of the circuit and the analysis — independent of
+    /// what the session ran before (the same determinism contract the
+    /// parallel sweep engine relies on). The cost is one pivot-order
+    /// freeze per analysis, amortized over its thousands of
+    /// pattern-reusing refactorizations; the buffers stay allocated.
     pub(super) fn split(&mut self) -> (SolverBufs<'_>, &mut Vec<CapState>) {
+        self.symbolic.invalidate();
         let Self {
+            solver,
             a,
+            csr_values,
+            symbolic,
             z,
             x,
             x_new,
@@ -135,14 +203,20 @@ impl Workspace {
             cap_states,
             stats,
         } = self;
+        let engine = match solver {
+            SolverKind::Dense => EngineBufs::Dense { a, lu },
+            SolverKind::Sparse => EngineBufs::Sparse {
+                values: csr_values,
+                symbolic,
+            },
+        };
         (
             SolverBufs {
-                a,
+                engine,
                 z,
                 x,
                 x_new,
                 x_save,
-                lu,
                 stats,
             },
             cap_states,
@@ -199,13 +273,28 @@ pub struct SimulationSession {
 }
 
 impl SimulationSession {
-    /// Builds a session for `ckt`: resolves the stamp plan and allocates
-    /// the solver workspace.
+    /// Builds a session for `ckt` with the process-default solver
+    /// engine ([`SolverKind::from_env`]): resolves the stamp plan and
+    /// allocates the solver workspace.
     #[must_use]
     pub fn new(ckt: Circuit) -> Self {
+        Self::with_solver(ckt, SolverKind::from_env())
+    }
+
+    /// Builds a session for `ckt` pinned to a specific solver engine,
+    /// ignoring the environment — how the equivalence tests hold the
+    /// dense oracle fixed while the sparse path evolves.
+    #[must_use]
+    pub fn with_solver(ckt: Circuit, solver: SolverKind) -> Self {
         let plan = StampPlan::build(&ckt);
-        let ws = Workspace::for_plan(&plan);
+        let ws = Workspace::for_plan(&plan, solver);
         Self { ckt, plan, ws }
+    }
+
+    /// The LU engine this session's solves run on.
+    #[must_use]
+    pub fn solver_kind(&self) -> SolverKind {
+        self.ws.solver
     }
 
     /// The session's circuit.
@@ -243,8 +332,9 @@ impl SimulationSession {
     fn refresh(&mut self) {
         if self.plan.is_stale(&self.ckt) {
             let stats = self.ws.stats;
+            let solver = self.ws.solver;
             self.plan = StampPlan::build(&self.ckt);
-            self.ws = Workspace::for_plan(&self.plan);
+            self.ws = Workspace::for_plan(&self.plan, solver);
             self.ws.stats = stats;
         }
     }

@@ -71,9 +71,10 @@ pub(super) fn run(
     let mut events: Vec<MtjEvent> = Vec::new();
 
     let mut t = 0.0_f64;
-    while t < stop_s - 1e-18 {
+    while t < stop_s {
         // Candidate step: nominal, clipped to breakpoints and the window.
-        let mut dt = dt_nominal.min(stop_s - t);
+        let remaining = stop_s - t;
+        let mut dt = dt_nominal.min(remaining);
         if let Some(bp) = next_breakpoint(plan, ckt, t) {
             if bp > t + 1e-18 && bp < t + dt {
                 dt = bp - t;
@@ -115,7 +116,17 @@ pub(super) fn run(
                 }
             }
         };
-        t += dt_used;
+        // Snap the final step exactly onto the requested stop time:
+        // accumulating `t += dt_used` drifts by an ulp per step, which
+        // used to leave the last sample at `stop − ulp` (or spawn a
+        // sliver-sized extra step past it). A step that consumed the
+        // whole remaining window *is* the final step by construction —
+        // `dt` was clipped to `remaining` above and only shrinks.
+        t = if dt_used >= remaining {
+            stop_s
+        } else {
+            t + dt_used
+        };
         if tel {
             telemetry::histogram("spice.dt_s", dt_used);
         }
@@ -152,6 +163,13 @@ pub(super) fn run(
 
         recorder.push(t, bufs.x, ckt);
     }
+
+    // The snap above guarantees the loop exits exactly at `stop_s`, so
+    // the recorder's final sample sits on the requested stop time.
+    debug_assert!(
+        t == stop_s,
+        "transient ended at {t:?}, expected exactly {stop_s:?}"
+    );
 
     Ok(recorder.finish(events, *bufs.stats - stats_before))
 }

@@ -8,10 +8,18 @@
 //! tolerance. Each fixture is also run twice through one session, with a
 //! [`CircuitSnapshot`] rewind in between, to prove that workspace reuse
 //! leaks no state from run to run.
+//!
+//! Every session here is pinned to [`SolverKind::Dense`]: the reference
+//! engine *is* the dense partial-pivoted LU, and this suite isolates
+//! the workspace-reuse refactor from the solver engine choice. The
+//! sparse engine is held to the dense oracle (at tolerance, plus
+//! bit-identity where the frozen pivot order provably coincides) in
+//! `sparse_equivalence.rs`.
 
 use mtj::{Mtj, MtjParams, MtjState, WritePolarity};
-use spice::analysis::{self, reference};
-use spice::{Circuit, SimulationSession, SourceWaveform, Technology, TransientResult};
+use spice::analysis;
+use spice::analysis::reference;
+use spice::{Circuit, SimulationSession, SolverKind, SourceWaveform, Technology, TransientResult};
 use units::{Capacitance, Length, Resistance, Time, Voltage};
 
 /// A circuit fixture plus the probe lists the comparison sweeps over.
@@ -256,18 +264,23 @@ fn check_fixture(make: fn() -> Fixture) {
     let ref_result =
         reference::transient(&mut ref_ckt, fx_ref.stop, fx_ref.step).expect("reference");
 
-    // One-shot free function (itself a throwaway session).
+    // A throwaway dense session, standing in for the one-shot free
+    // functions (which follow the process-default engine and are pinned
+    // against the oracle in `sparse_equivalence.rs`).
     let fx_free = make();
-    let mut free_ckt = fx_free.ckt;
-    let free_result =
-        analysis::transient(&mut free_ckt, fx_free.stop, fx_free.step).expect("free fn");
+    let mut one_shot = SimulationSession::with_solver(fx_free.ckt, SolverKind::Dense);
+    let free_result = one_shot
+        .transient(fx_free.stop, fx_free.step)
+        .expect("one-shot session");
+    let free_ckt = one_shot.into_circuit();
 
     // Session engine, run twice with a snapshot rewind in between: the
     // second run reuses every workspace buffer of the first and must
     // still match the reference exactly.
     let mut fx = make();
     let snap = fx.ckt.snapshot();
-    let mut session = SimulationSession::new(std::mem::take(&mut fx.ckt));
+    let mut session =
+        SimulationSession::with_solver(std::mem::take(&mut fx.ckt), SolverKind::Dense);
     let first = session.transient(fx.stop, fx.step).expect("session run 1");
     session.circuit_mut().restore(&snap);
     let second = session.transient(fx.stop, fx.step).expect("session run 2");
@@ -316,7 +329,7 @@ fn inverter_dc_sweep_is_bit_identical() {
     let ref_points = reference::dc_sweep(&mut ref_ckt, "VIN", &sweep).expect("reference sweep");
 
     let fx = cmos_inverter();
-    let mut session = SimulationSession::new(fx.ckt);
+    let mut session = SimulationSession::with_solver(fx.ckt, SolverKind::Dense);
     // Run the sweep twice through one session; both passes must match.
     for pass in 0..2 {
         let points = session.dc_sweep("VIN", &sweep).expect("session sweep");
@@ -351,7 +364,7 @@ fn operating_points_are_bit_identical() {
         let ref_op = reference::op(&mut ref_ckt).expect("reference op");
 
         let fx = make();
-        let mut session = SimulationSession::new(fx.ckt);
+        let mut session = SimulationSession::with_solver(fx.ckt, SolverKind::Dense);
         let first = session.op().expect("session op 1");
         let second = session.op().expect("session op 2");
         for name in &fx.nodes {

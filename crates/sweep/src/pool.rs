@@ -277,12 +277,13 @@ where
         let cursor = AtomicUsize::new(0);
         let (tx, rx) = mpsc::channel::<(usize, f64, T)>();
         std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
             for worker in 0..workers {
                 let tx = tx.clone();
                 let cursor = &cursor;
                 let pending = &pending;
                 let span_label = opts.span_label;
-                scope.spawn(move || {
+                handles.push(scope.spawn(move || {
                     let mut state = make_state(worker);
                     loop {
                         let claim = cursor.fetch_add(chunk, Ordering::Relaxed);
@@ -309,11 +310,13 @@ where
                             }
                         }
                     }
-                });
+                }));
             }
             drop(tx);
             // Ordered collection: completion order arrives here, grid
-            // order is restored by slot index.
+            // order is restored by slot index. A worker that panics
+            // drops its `tx`, so the loop drains whatever the healthy
+            // workers produced and then ends.
             while let Ok((index, dur_s, result)) = rx.recv() {
                 busy_s += dur_s;
                 done += 1;
@@ -321,6 +324,17 @@ where
                 slots[index] = Some(result);
                 if let Some(progress) = on_progress.as_deref_mut() {
                     progress(&progress_of(done, total, start));
+                }
+            }
+            // Join the workers *before* touching the result slots, and
+            // re-raise the first worker panic with its original payload.
+            // Leaving the handles to the scope's implicit join would
+            // replace a job's panic message with the scope's generic
+            // "a scoped thread panicked", and the collector would then
+            // die on an unfilled slot instead of the real cause.
+            for handle in handles {
+                if let Err(payload) = handle.join() {
+                    std::panic::resume_unwind(payload);
                 }
             }
         });
@@ -450,6 +464,36 @@ mod tests {
         assert_eq!(seen.len(), 10);
         assert!(seen.windows(2).all(|w| w[0] < w[1]));
         assert_eq!(*seen.last().expect("nonempty"), 10);
+    }
+
+    #[test]
+    fn worker_panic_resurfaces_with_original_payload() {
+        // Regression: the collector used to leave panicked workers to
+        // the scope's implicit join, which replaced the job's payload
+        // with the scope's generic "a scoped thread panicked" (or died
+        // first on an unfilled result slot). The original message must
+        // survive to the caller.
+        let grid = Grid::new((0..24u64).collect());
+        let opts = SweepOptions {
+            jobs: 3,
+            chunk: 1,
+            ..SweepOptions::default()
+        };
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run(&grid, &opts, |ctx, &p| {
+                if ctx.index == 7 {
+                    panic!("boom at point {}", ctx.index);
+                }
+                p
+            })
+        }));
+        let payload = outcome.expect_err("the worker panic must propagate");
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+            .expect("panic payload is a string");
+        assert_eq!(message, "boom at point 7");
     }
 
     #[test]

@@ -53,4 +53,20 @@ NVFF_TRACE="jsonl:$smoke_trace" \
 cargo run --offline -q -p telemetry --example validate -- "$smoke_json"
 cargo run --offline -q -p telemetry --example validate -- "$smoke_trace"
 
+echo "==> solver smoke: table2 --quick, sparse vs dense agreement"
+# The same characterization under both LU engines must print the same
+# physics. Newton-iteration counts may legitimately differ by an ulp of
+# convergence, so solver-work lines are filtered before the diff.
+sparse_out="target/ci_smoke_sparse.txt"
+dense_out="target/ci_smoke_dense.txt"
+cargo run --offline -q -p nvff-bench --bin table2 -- --quick --jobs 2 \
+    | grep -iv "newton\|iterations" > "$sparse_out"
+NVFF_SOLVER=dense \
+    cargo run --offline -q -p nvff-bench --bin table2 -- --quick --jobs 2 \
+    | grep -iv "newton\|iterations" > "$dense_out"
+if ! diff -u "$dense_out" "$sparse_out"; then
+    echo "sparse and dense solver engines disagree on table2 --quick" >&2
+    exit 1
+fi
+
 echo "==> tier-1 gate passed"

@@ -89,6 +89,7 @@ fn solver_stats_fold_is_order_independent() {
             accepted_steps: k * 31,
             rejected_steps: k % 3,
             step_halvings: k % 2,
+            pattern_reuses: k * 7 + 3,
         })
         .collect();
     let fold = |order: &[usize]| {
