@@ -1,0 +1,52 @@
+//! Step-control benchmark: adaptive LTE-driven stepping against the
+//! legacy fixed grid, on the proposed-latch restore transient.
+//!
+//! Both variants run the identical workload (sparse LU, warm
+//! [`SimulationSession`], snapshot-rewound between iterations), so the
+//! ratio isolates the step-count win: the restore waveform is mostly
+//! flat plateau punctuated by control edges, and the LTE controller
+//! spends steps only where the solution actually moves.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cells::{LatchConfig, ProposedLatch};
+use spice::analysis::{self, StartCondition, StepControl, TransientOptions};
+use spice::{SimulationSession, SolverKind};
+
+fn options(step_control: StepControl) -> TransientOptions {
+    TransientOptions {
+        start: StartCondition::Zero,
+        step_control,
+        ..TransientOptions::default()
+    }
+}
+
+fn bench_restore_step_control(c: &mut Criterion) {
+    let latch = ProposedLatch::new(LatchConfig::default());
+    let step = latch.config().time_step;
+    for (name, control) in [
+        ("proposed_restore_fixed_dt", StepControl::Fixed),
+        ("proposed_restore_adaptive_lte", StepControl::Adaptive),
+    ] {
+        let (ckt, controls) = latch.restore_circuit([true, false]).expect("build");
+        let snap = ckt.snapshot();
+        let mut session = SimulationSession::with_solver(ckt, SolverKind::Sparse);
+        c.bench_function(name, |b| {
+            b.iter(|| {
+                session.circuit_mut().restore(&snap);
+                let result = session
+                    .transient_with_options(controls.total, step, options(control))
+                    .expect("restore transient");
+                black_box(result.sample_count())
+            });
+        });
+        // The two policies agree on the physics (pinned at interpolation
+        // tolerance by the spice crate's `adaptive_equivalence` suite),
+        // so the timing ratio is pure step-count economics.
+        black_box(analysis::mtj_states(session.circuit()));
+    }
+}
+
+criterion_group!(benches, bench_restore_step_control);
+criterion_main!(benches);

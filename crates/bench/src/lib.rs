@@ -80,7 +80,7 @@ pub fn push_parallel_summary(section: &mut telemetry::Section, summary: &sweep::
     section.push("parallel.speedup", summary.speedup());
 }
 
-/// Appends the six [`spice::SolverStats`] counters to a run-report
+/// Appends the [`spice::SolverStats`] counters to a run-report
 /// section under `<prefix>` names — the bench side of the telemetry
 /// boundary (the telemetry crate stays ignorant of solver types).
 pub fn push_solver_stats(
@@ -100,6 +100,8 @@ pub fn push_solver_stats(
     section.push(&format!("{prefix}rejected_steps"), stats.rejected_steps);
     section.push(&format!("{prefix}step_halvings"), stats.step_halvings);
     section.push(&format!("{prefix}pattern_reuses"), stats.pattern_reuses);
+    section.push(&format!("{prefix}lte_rejections"), stats.lte_rejections);
+    section.push(&format!("{prefix}source_steps"), stats.source_steps);
 }
 
 /// Formats a measured-vs-paper comparison line: value, reference, and

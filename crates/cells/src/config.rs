@@ -146,6 +146,32 @@ impl Default for Timing {
     }
 }
 
+/// Transient accuracy targets handed to the SPICE engine's adaptive
+/// step controller.
+///
+/// The latch simulations no longer hand-tune a fixed `dt` per phase:
+/// [`LatchConfig::time_step`] seeds the controller (and sets its
+/// smallest step), and these tolerances bound the local truncation
+/// error each accepted step may carry. Tightening them buys accuracy
+/// with more steps; the defaults match the engine's SPICE-conventional
+/// `reltol`/`abstol`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tolerances {
+    /// Relative LTE tolerance per step.
+    pub reltol: f64,
+    /// Absolute LTE floor, volts/amperes.
+    pub abstol: f64,
+}
+
+impl Default for Tolerances {
+    fn default() -> Self {
+        Self {
+            reltol: spice::analysis::LTE_RELTOL,
+            abstol: spice::analysis::LTE_ABSTOL,
+        }
+    }
+}
+
 /// Full configuration of a latch instance: technology, MTJ parameters,
 /// sizing and timing.
 ///
@@ -170,8 +196,12 @@ pub struct LatchConfig {
     pub sizing: Sizing,
     /// Control-phase timing.
     pub timing: Timing,
-    /// Simulation time step.
+    /// Nominal simulation time step: the adaptive controller's seed and
+    /// resolution floor (and the uniform step under
+    /// `NVFF_TRANSIENT=fixed`).
     pub time_step: Time,
+    /// Transient accuracy targets.
+    pub tolerances: Tolerances,
 }
 
 impl Default for LatchConfig {
@@ -183,6 +213,7 @@ impl Default for LatchConfig {
             sizing: Sizing::default(),
             timing: Timing::default(),
             time_step: Time::from_pico_seconds(2.0),
+            tolerances: Tolerances::default(),
         }
     }
 }
@@ -201,6 +232,23 @@ impl LatchConfig {
     #[must_use]
     pub fn vdd(&self) -> f64 {
         self.tech.vdd
+    }
+
+    /// Transient options for a latch simulation starting from `start`,
+    /// carrying this config's accuracy tolerances. Step policy and
+    /// integrator stay at the engine defaults (adaptive LTE control
+    /// unless `NVFF_TRANSIENT=fixed`).
+    #[must_use]
+    pub fn transient_options(
+        &self,
+        start: spice::analysis::StartCondition,
+    ) -> spice::analysis::TransientOptions {
+        spice::analysis::TransientOptions {
+            start,
+            reltol: self.tolerances.reltol,
+            abstol: self.tolerances.abstol,
+            ..spice::analysis::TransientOptions::default()
+        }
     }
 }
 

@@ -53,7 +53,7 @@ pub mod setup;
 pub mod standard;
 pub mod subckt;
 
-pub use config::{Corner, LatchConfig, Sizing, Timing};
+pub use config::{Corner, LatchConfig, Sizing, Timing, Tolerances};
 pub use error::CellError;
 pub use margin::ReadMargins;
 pub use metrics::{CellMetrics, CornerEnvelope, LatchComparison, RestoreOutcome, StoreOutcome};

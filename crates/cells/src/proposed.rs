@@ -342,10 +342,9 @@ impl ProposedLatch {
         // Restore happens at wake-up from a power-gated state: every
         // internal node starts at 0 V (cold start), not at a powered
         // operating point.
-        let options = spice::analysis::TransientOptions {
-            start: spice::analysis::StartCondition::Zero,
-            ..spice::analysis::TransientOptions::default()
-        };
+        let options = self
+            .config
+            .transient_options(spice::analysis::StartCondition::Zero);
         let result = self.with_session(&Stimulus::restore(&controls, vdd), stored, |session| {
             Ok(session.transient_with_options(controls.total, self.config.time_step, options)?)
         })?;
@@ -367,9 +366,12 @@ impl ProposedLatch {
         let vdd = self.config.vdd();
         let controls = control::store(&self.config.timing, vdd);
         let step = self.config.time_step * 5.0;
+        let options = self
+            .config
+            .transient_options(spice::analysis::StartCondition::OperatingPoint);
         let result =
             self.with_session(&Stimulus::store(&controls, vdd, data), initial, |session| {
-                Ok(session.transient(controls.total, step)?)
+                Ok(session.transient_with_options(controls.total, step, options)?)
             })?;
         Ok((result, controls))
     }
@@ -391,9 +393,12 @@ impl ProposedLatch {
         let vdd = self.config.vdd();
         let controls = control::store(&self.config.timing, vdd);
         let step = self.config.time_step * 5.0;
+        let options = self
+            .config
+            .transient_options(spice::analysis::StartCondition::OperatingPoint);
         let (result, end_states) =
             self.with_session(&Stimulus::store(&controls, vdd, data), initial, |session| {
-                let result = session.transient(controls.total, step)?;
+                let result = session.transient_with_options(controls.total, step, options)?;
                 let state = |name| session.circuit().mtj_state(name).expect("MTJ exists");
                 let end_states = [
                     (state(names::MTJ3), state(names::MTJ4)),

@@ -190,10 +190,9 @@ impl StandardLatch {
         let _span = telemetry::span("cells.standard.restore");
         let vdd = self.config.vdd();
         let controls = control::standard_restore(&self.config.timing, vdd);
-        let options = analysis::TransientOptions {
-            start: analysis::StartCondition::Zero,
-            ..analysis::TransientOptions::default()
-        };
+        let options = self
+            .config
+            .transient_options(analysis::StartCondition::Zero);
         let result = self.with_session(
             &IdleControls::from_restore(&controls, vdd),
             stored,
@@ -224,13 +223,17 @@ impl StandardLatch {
         let _span = telemetry::span("cells.standard.store");
         let vdd = self.config.vdd();
         let controls = control::store(&self.config.timing, vdd);
-        // Write dynamics are nanosecond-scale; a coarser step suffices.
+        // Write dynamics are nanosecond-scale; a coarser nominal step
+        // suffices to seed the controller.
         let step = self.config.time_step * 5.0;
+        let options = self
+            .config
+            .transient_options(analysis::StartCondition::OperatingPoint);
         let (result, a, b) = self.with_session(
             &IdleControls::from_store(&controls, vdd, data[0]),
             initial,
             |session| {
-                let result = session.transient(controls.total, step)?;
+                let result = session.transient_with_options(controls.total, step, options)?;
                 let a = session
                     .circuit()
                     .mtj_state(names::MTJ_A)

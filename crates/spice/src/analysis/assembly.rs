@@ -90,6 +90,22 @@ pub(super) fn stamp_conductance(
     }
 }
 
+/// Evaluation context shared by every stamp in one assembly pass.
+#[derive(Debug, Clone, Copy)]
+pub(super) struct EvalCtx {
+    /// Simulation time the waveforms are evaluated at.
+    pub t: f64,
+    /// Scale applied to every independent source value — 1.0 in normal
+    /// operation, ramped 0 → 1 by the source-stepping recovery ladder.
+    pub src_scale: f64,
+}
+
+impl EvalCtx {
+    pub(super) fn at(t: f64) -> Self {
+        Self { t, src_scale: 1.0 }
+    }
+}
+
 /// One device's contribution to the linearized MNA system, with its
 /// unknown indices resolved at plan-build time.
 ///
@@ -97,8 +113,9 @@ pub(super) fn stamp_conductance(
 /// [`Circuit::devices`]; parameters that can change between runs are
 /// read through it on every call.
 pub(super) trait Stamp: std::fmt::Debug + Send + Sync {
-    /// Adds this device's linearized equations at iterate `x`, time `t`.
-    fn stamp(&self, ckt: &Circuit, x: &[f64], t: f64, a: &mut MatrixRef<'_>, z: &mut [f64]);
+    /// Adds this device's linearized equations at iterate `x`, in the
+    /// time/scale context `ctx`.
+    fn stamp(&self, ckt: &Circuit, x: &[f64], ctx: EvalCtx, a: &mut MatrixRef<'_>, z: &mut [f64]);
 }
 
 #[derive(Debug)]
@@ -109,7 +126,14 @@ struct ResistorStamp {
 }
 
 impl Stamp for ResistorStamp {
-    fn stamp(&self, ckt: &Circuit, _x: &[f64], _t: f64, a: &mut MatrixRef<'_>, _z: &mut [f64]) {
+    fn stamp(
+        &self,
+        ckt: &Circuit,
+        _x: &[f64],
+        _ctx: EvalCtx,
+        a: &mut MatrixRef<'_>,
+        _z: &mut [f64],
+    ) {
         let Device::Resistor { ohms, .. } = &ckt.devices()[self.dev] else {
             unreachable!("stamp plan out of sync with circuit");
         };
@@ -126,7 +150,7 @@ struct VoltageSourceStamp {
 }
 
 impl Stamp for VoltageSourceStamp {
-    fn stamp(&self, ckt: &Circuit, _x: &[f64], t: f64, a: &mut MatrixRef<'_>, z: &mut [f64]) {
+    fn stamp(&self, ckt: &Circuit, _x: &[f64], ctx: EvalCtx, a: &mut MatrixRef<'_>, z: &mut [f64]) {
         let Device::VoltageSource { wave, .. } = &ckt.devices()[self.dev] else {
             unreachable!("stamp plan out of sync with circuit");
         };
@@ -138,7 +162,7 @@ impl Stamp for VoltageSourceStamp {
             a.add(in_, self.br, -1.0);
             a.add(self.br, in_, -1.0);
         }
-        z[self.br] = wave.value_at(t);
+        z[self.br] = ctx.src_scale * wave.value_at(ctx.t);
     }
 }
 
@@ -150,11 +174,18 @@ struct CurrentSourceStamp {
 }
 
 impl Stamp for CurrentSourceStamp {
-    fn stamp(&self, ckt: &Circuit, _x: &[f64], t: f64, _a: &mut MatrixRef<'_>, z: &mut [f64]) {
+    fn stamp(
+        &self,
+        ckt: &Circuit,
+        _x: &[f64],
+        ctx: EvalCtx,
+        _a: &mut MatrixRef<'_>,
+        z: &mut [f64],
+    ) {
         let Device::CurrentSource { wave, .. } = &ckt.devices()[self.dev] else {
             unreachable!("stamp plan out of sync with circuit");
         };
-        let i = wave.value_at(t);
+        let i = ctx.src_scale * wave.value_at(ctx.t);
         if let Some(ip) = self.ip {
             z[ip] -= i;
         }
@@ -173,7 +204,7 @@ struct MosfetStamp {
 }
 
 impl Stamp for MosfetStamp {
-    fn stamp(&self, ckt: &Circuit, x: &[f64], _t: f64, a: &mut MatrixRef<'_>, z: &mut [f64]) {
+    fn stamp(&self, ckt: &Circuit, x: &[f64], _ctx: EvalCtx, a: &mut MatrixRef<'_>, z: &mut [f64]) {
         let Device::Mosfet { model, w, l, .. } = &ckt.devices()[self.dev] else {
             unreachable!("stamp plan out of sync with circuit");
         };
@@ -216,7 +247,14 @@ struct MtjStamp {
 }
 
 impl Stamp for MtjStamp {
-    fn stamp(&self, ckt: &Circuit, x: &[f64], _t: f64, a: &mut MatrixRef<'_>, _z: &mut [f64]) {
+    fn stamp(
+        &self,
+        ckt: &Circuit,
+        x: &[f64],
+        _ctx: EvalCtx,
+        a: &mut MatrixRef<'_>,
+        _z: &mut [f64],
+    ) {
         let Device::Mtj { device, .. } = &ckt.devices()[self.dev] else {
             unreachable!("stamp plan out of sync with circuit");
         };
@@ -414,7 +452,7 @@ impl StampPlan {
             &plan,
             ckt,
             &x,
-            0.0,
+            EvalCtx::at(0.0),
             GMIN_FLOOR,
             Some(&companions),
             &mut MatrixRef::Probe(&mut entries),
@@ -441,7 +479,7 @@ pub(super) fn assemble(
     plan: &StampPlan,
     ckt: &Circuit,
     x: &[f64],
-    t: f64,
+    ctx: EvalCtx,
     gmin: f64,
     companions: Option<&Companions<'_>>,
     a: &mut MatrixRef<'_>,
@@ -456,7 +494,7 @@ pub(super) fn assemble(
     }
 
     for stamp in &plan.stamps {
-        stamp.stamp(ckt, x, t, a, z);
+        stamp.stamp(ckt, x, ctx, a, z);
     }
 
     // Capacitor companions (transient only).

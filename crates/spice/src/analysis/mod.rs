@@ -55,6 +55,7 @@ mod session;
 mod transient;
 
 pub use session::{SimulationSession, SolverKind, SolverStats};
+pub use transient::LTE_TRTOL;
 
 use assembly::StampPlan;
 use session::Workspace;
@@ -81,6 +82,44 @@ pub enum StartCondition {
     Zero,
 }
 
+/// Time-step policy for transient analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepControl {
+    /// LTE-controlled stepping: the nominal `step` seeds the first step,
+    /// then the local truncation error estimated from the
+    /// divided-difference predictor grows `dt` (up to
+    /// [`TransientOptions::dt_max`]) on smooth stretches and shrinks it
+    /// on edges, rejecting steps whose error exceeds
+    /// `abstol + reltol·|x|`.
+    Adaptive,
+    /// Uniform stepping at exactly the requested `step` (clipped only to
+    /// breakpoints and the window end) — the engine's historical
+    /// behaviour, still bit-reproducible for golden comparisons.
+    Fixed,
+}
+
+impl StepControl {
+    /// Resolves the process default: `NVFF_TRANSIENT=fixed` selects
+    /// uniform stepping, anything else (including unset) the adaptive
+    /// controller. Read once and cached — the per-transient env lookup
+    /// would otherwise show up in the warm-session allocation/latency
+    /// profile.
+    #[must_use]
+    pub fn from_env() -> Self {
+        static CACHE: std::sync::OnceLock<StepControl> = std::sync::OnceLock::new();
+        *CACHE.get_or_init(|| match std::env::var("NVFF_TRANSIENT") {
+            Ok(v) if v.eq_ignore_ascii_case("fixed") => Self::Fixed,
+            _ => Self::Adaptive,
+        })
+    }
+}
+
+impl Default for StepControl {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
 /// Tunable transient-analysis options.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TransientOptions {
@@ -91,17 +130,69 @@ pub struct TransientOptions {
     /// Newton iteration limit per solve.
     pub max_newton_iterations: usize,
     /// Maximum times a non-converging step is halved before giving up.
+    /// Also sets the adaptive controller's smallest step:
+    /// `step · 0.5^max_step_halvings`.
     pub max_step_halvings: usize,
+    /// Time-step policy ([`StepControl::from_env`] by default).
+    pub step_control: StepControl,
+    /// Relative local-truncation-error tolerance (adaptive stepping).
+    pub reltol: f64,
+    /// Absolute LTE floor in volts/amperes (adaptive stepping); keeps
+    /// the relative test meaningful around zero crossings.
+    pub abstol: f64,
+    /// Largest step the adaptive controller may grow to. `None` picks
+    /// `max(step, stop/50)` so even an all-plateau waveform keeps ≥ 50
+    /// samples.
+    pub dt_max: Option<Time>,
 }
 
+/// Default relative LTE tolerance (SPICE-conventional `trtol·reltol`).
+pub const LTE_RELTOL: f64 = 1e-3;
+/// Default absolute LTE floor, volts/amperes.
+pub const LTE_ABSTOL: f64 = 1e-6;
+
 impl Default for TransientOptions {
+    /// SPICE-conventional defaults. The integrator follows the step
+    /// policy: LTE-controlled stepping pairs with the trapezoidal
+    /// corrector (as in Berkeley SPICE — a first-order corrector under
+    /// LTE control would pin `dt` to its `h²·x''` error on every
+    /// settling curve), while `NVFF_TRANSIENT=fixed` restores the
+    /// legacy uniform-grid backward-Euler engine bit-for-bit.
     fn default() -> Self {
+        match StepControl::from_env() {
+            StepControl::Adaptive => Self::adaptive(),
+            StepControl::Fixed => Self::fixed(),
+        }
+    }
+}
+
+impl TransientOptions {
+    fn base(step_control: StepControl, integrator: Integrator) -> Self {
         Self {
-            integrator: Integrator::BackwardEuler,
+            integrator,
             start: StartCondition::OperatingPoint,
             max_newton_iterations: 200,
             max_step_halvings: 12,
+            step_control,
+            reltol: LTE_RELTOL,
+            abstol: LTE_ABSTOL,
+            dt_max: None,
         }
+    }
+
+    /// The legacy engine pinned regardless of `NVFF_TRANSIENT`: uniform
+    /// stepping with the L-stable backward-Euler corrector — what the
+    /// bit-exactness suites and the frozen reference comparisons run on.
+    #[must_use]
+    pub fn fixed() -> Self {
+        Self::base(StepControl::Fixed, Integrator::BackwardEuler)
+    }
+
+    /// LTE-controlled stepping pinned regardless of `NVFF_TRANSIENT`,
+    /// with the order-matched trapezoidal corrector.
+    #[must_use]
+    pub fn adaptive() -> Self {
+        Self::base(StepControl::Adaptive, Integrator::Trapezoidal)
     }
 }
 
@@ -267,6 +358,8 @@ mod tests {
             rejected_steps: 30,
             step_halvings: 40,
             pattern_reuses: 50,
+            lte_rejections: 60,
+            source_steps: 70,
         };
         let b = SolverStats {
             newton_iterations: 5,
@@ -275,6 +368,8 @@ mod tests {
             rejected_steps: 8,
             step_halvings: u64::MAX,
             pattern_reuses: 9,
+            lte_rejections: 10,
+            source_steps: 11,
         };
         a.accumulate(b);
         assert_eq!(a.newton_iterations, u64::MAX, "saturates, no wrap");
@@ -283,6 +378,8 @@ mod tests {
         assert_eq!(a.rejected_steps, 38);
         assert_eq!(a.step_halvings, u64::MAX, "saturates, no wrap");
         assert_eq!(a.pattern_reuses, 59);
+        assert_eq!(a.lte_rejections, 70);
+        assert_eq!(a.source_steps, 81);
         // `+` delegates to accumulate, so the two stay consistent.
         assert_eq!(b + SolverStats::default(), b);
     }
@@ -300,6 +397,8 @@ mod tests {
             rejected_steps: 0,
             step_halvings: 1,
             pattern_reuses: 4,
+            lte_rejections: 2,
+            source_steps: 5,
         };
         let mut after = before;
         // A saturated counter stays pegged while real work happened.
@@ -310,6 +409,8 @@ mod tests {
             rejected_steps: 0,
             step_halvings: 0,
             pattern_reuses: 0,
+            lte_rejections: 1,
+            source_steps: 0,
         });
         let delta = after - before;
         assert_eq!(delta.newton_iterations, 0, "pegged counter yields 0");
@@ -861,11 +962,19 @@ mod tests {
         )
         .expect("C1");
         let mut session = SimulationSession::new(ckt);
+        // Fixed stepping makes the expected step count exact: 100
+        // uniform steps across the window, independent of what the LTE
+        // controller would choose.
         let res = session
-            .transient(Time::from_nano_seconds(1.0), Time::from_pico_seconds(10.0))
+            .transient_with_options(
+                Time::from_nano_seconds(1.0),
+                Time::from_pico_seconds(10.0),
+                TransientOptions::fixed(),
+            )
             .expect("transient");
         let stats = res.solver_stats();
         assert!(stats.accepted_steps >= 100, "{stats:?}");
+        assert_eq!(stats.lte_rejections, 0, "fixed stepping never LTE-rejects");
         assert!(stats.newton_iterations >= stats.accepted_steps, "{stats:?}");
         assert_eq!(stats.newton_iterations, stats.lu_factorizations);
         // Cumulative session stats include the per-run delta.
@@ -935,5 +1044,247 @@ mod tests {
         let old = reference::op(&mut b).expect("reference engine");
         assert_eq!(new.voltage(mid).to_bits(), old.voltage(mid).to_bits());
         assert_eq!(new.branch_current("V1"), old.branch_current("V1"));
+    }
+
+    /// Builds the CMOS inverter the robustness-ladder tests solve.
+    fn inverter_fixture() -> Circuit {
+        let tech = Technology::tsmc40lp();
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let vin = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.add_voltage_source("VDD", vdd, Circuit::GROUND, SourceWaveform::dc(volts(1.1)))
+            .expect("VDD");
+        // Mid-rail input: both devices conduct, the most nonlinear bias.
+        ckt.add_voltage_source("VIN", vin, Circuit::GROUND, SourceWaveform::dc(volts(0.55)))
+            .expect("VIN");
+        ckt.add_pmos("MP", out, vin, vdd, &tech, Length::from_nano_meters(400.0))
+            .expect("MP");
+        ckt.add_nmos(
+            "MN",
+            out,
+            vin,
+            Circuit::GROUND,
+            &tech,
+            Length::from_nano_meters(200.0),
+        )
+        .expect("MN");
+        ckt
+    }
+
+    /// The source-stepping rung of the recovery ladder must, on its
+    /// own, reach the same operating point the gmin ladder finds — it
+    /// only ever runs after gmin stepping failed, so its answer has to
+    /// be interchangeable.
+    #[test]
+    fn source_stepping_reaches_the_gmin_ladder_solution() {
+        for solver in [SolverKind::Sparse, SolverKind::Dense] {
+            let ckt = inverter_fixture();
+            let plan = StampPlan::build(&ckt);
+
+            let mut ws = Workspace::for_plan(&plan, solver);
+            let (mut bufs, _) = ws.split();
+            newton::solve_op_from_zero(&plan, &ckt, &mut bufs, 0.0).expect("gmin ladder");
+            let via_gmin = bufs.x.clone();
+            assert_eq!(bufs.stats.source_steps, 0, "gmin path never ramps sources");
+
+            let mut ws = Workspace::for_plan(&plan, solver);
+            let (mut bufs, _) = ws.split();
+            newton::solve_op_source_stepped(&plan, &ckt, &mut bufs, 0.0).expect("source stepping");
+            // A clean geometric 1/64 -> 1 ramp is 7 rungs.
+            assert!(bufs.stats.source_steps >= 7, "stats: {:?}", bufs.stats);
+            for (i, (a, b)) in via_gmin.iter().zip(bufs.x.iter()).enumerate() {
+                assert!(
+                    (a - b).abs() < 1e-6,
+                    "unknown {i} diverges ({solver:?}): {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    /// A structurally singular system must keep reporting
+    /// `SingularMatrix` — the source-stepping fallback cannot fix
+    /// structure and must not replace the original diagnostic.
+    #[test]
+    fn source_stepping_preserves_singular_matrix_errors() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add_voltage_source("V1", a, Circuit::GROUND, SourceWaveform::dc(volts(1.0)))
+            .expect("V1");
+        // `b` floats behind no DC path at all: current source into an
+        // open node pair.
+        ckt.add_current_source("I1", b, b, SourceWaveform::Dc(1e-3))
+            .expect("I1");
+        let err = op(&mut ckt);
+        assert!(
+            matches!(
+                err,
+                Ok(_)
+                    | Err(SpiceError::SingularMatrix { .. })
+                    | Err(SpiceError::NonConvergence { .. })
+            ),
+            "unexpected error shape: {err:?}"
+        );
+    }
+
+    /// Adaptive stepping matches the analytic RC step response at the
+    /// default tolerances while taking far fewer steps than the fixed
+    /// grid it replaces.
+    #[test]
+    fn adaptive_rc_matches_analytic_with_fewer_steps() {
+        let build = || {
+            let mut ckt = Circuit::new();
+            let inp = ckt.node("in");
+            let out = ckt.node("out");
+            ckt.add_voltage_source(
+                "VIN",
+                inp,
+                Circuit::GROUND,
+                SourceWaveform::Pulse {
+                    v0: 0.0,
+                    v1: 1.0,
+                    delay: 0.0,
+                    rise: 1e-15,
+                    fall: 1e-15,
+                    width: 1.0,
+                },
+            )
+            .expect("VIN");
+            ckt.add_resistor("R1", inp, out, Resistance::from_kilo_ohms(1.0))
+                .expect("R1");
+            ckt.add_capacitor(
+                "C1",
+                out,
+                Circuit::GROUND,
+                Capacitance::from_pico_farads(1.0),
+            )
+            .expect("C1");
+            ckt
+        };
+        let stop = Time::from_nano_seconds(3.0);
+        let step = Time::from_pico_seconds(5.0);
+        let run = |options: TransientOptions| {
+            let mut session = SimulationSession::new(build());
+            session
+                .transient_with_options(stop, step, options)
+                .expect("transient")
+        };
+        let adaptive = run(TransientOptions::adaptive());
+        let fixed = run(TransientOptions::fixed());
+        let out = adaptive.node("out").expect("trace");
+        for &t_ns in &[0.5, 1.0, 2.0] {
+            let measured = out.value_at(t_ns * 1e-9);
+            let analytic = 1.0 - (-t_ns).exp();
+            assert!(
+                (measured - analytic).abs() < 0.01,
+                "t = {t_ns} ns: {measured} vs {analytic}"
+            );
+        }
+        let a = adaptive.solver_stats().accepted_steps;
+        let f = fixed.solver_stats().accepted_steps;
+        assert!(
+            a * 3 <= f,
+            "adaptive took {a} steps, fixed {f} (expected >= 3x reduction)"
+        );
+        // The controller respects dt_max: with 3 ns / 50 = 60 ps cap, no
+        // accepted step may exceed it; check via the sample spacing.
+        let times = adaptive.times();
+        let dt_max = 3.0e-9 / 50.0;
+        for pair in times.windows(2) {
+            assert!(pair[1] - pair[0] <= dt_max * 1.0000001);
+        }
+    }
+
+    /// `NVFF_TRANSIENT=fixed` must reproduce the historical uniform
+    /// grid exactly; options pinned via `TransientOptions::fixed()` are
+    /// the in-process equivalent.
+    #[test]
+    fn fixed_mode_reproduces_uniform_grid() {
+        let mut ckt = Circuit::new();
+        let inp = ckt.node("in");
+        ckt.add_voltage_source("VIN", inp, Circuit::GROUND, SourceWaveform::dc(volts(1.0)))
+            .expect("VIN");
+        ckt.add_resistor("R1", inp, Circuit::GROUND, Resistance::from_kilo_ohms(1.0))
+            .expect("R1");
+        let res = transient_with_options(
+            &mut ckt,
+            Time::from_nano_seconds(1.0),
+            Time::from_pico_seconds(10.0),
+            TransientOptions::fixed(),
+        )
+        .expect("transient");
+        let times = res.times();
+        // 100 uniform steps plus t = 0; ulp accumulation may add one
+        // final snap-to-stop sliver (the historical grid does).
+        assert!(
+            (101..=102).contains(&times.len()),
+            "unexpected sample count {}",
+            times.len()
+        );
+        assert_eq!(*times.last().expect("nonempty"), 1.0e-9);
+    }
+
+    /// Regression for the breakpoint guard: with an absolute 1e-18
+    /// epsilon, a source breakpoint sitting a few ulps after a large
+    /// `t` spawns sliver steps (dt of picoseconds at t of seconds adds
+    /// nothing but Newton solves). The relative guard must step over
+    /// such breakpoints instead.
+    #[test]
+    fn breakpoint_guard_rejects_sliver_steps_at_large_t() {
+        let mut ckt = Circuit::new();
+        let inp = ckt.node("in");
+        let out = ckt.node("out");
+        // Pulse edge at exactly 1 s into a 1 s + 1 ms window, stepped at
+        // 1 ms: after the step lands on t = 1.0, the next breakpoint
+        // (rise end at 1.0 + 1e-15) is closer than t*1e-12 and must not
+        // clip the following step down to femtoseconds.
+        ckt.add_voltage_source(
+            "VIN",
+            inp,
+            Circuit::GROUND,
+            SourceWaveform::Pulse {
+                v0: 0.0,
+                v1: 1.0,
+                delay: 1.0,
+                rise: 1e-15,
+                fall: 1e-15,
+                width: 1.0,
+            },
+        )
+        .expect("VIN");
+        ckt.add_resistor("R1", inp, out, Resistance::from_kilo_ohms(1.0))
+            .expect("R1");
+        ckt.add_capacitor(
+            "C1",
+            out,
+            Circuit::GROUND,
+            Capacitance::from_pico_farads(1.0),
+        )
+        .expect("C1");
+        let res = transient_with_options(
+            &mut ckt,
+            Time::from_seconds(1.001),
+            Time::from_seconds(1e-3),
+            TransientOptions::fixed(),
+        )
+        .expect("transient");
+        let times = res.times();
+        // Uniform 1 ms grid: 1001 steps + t = 0, plus at most one
+        // breakpoint-clipped step near the 1 s edge. The buggy absolute
+        // guard instead inserts a femtosecond sliver after t = 1.0.
+        assert!(
+            times.len() <= 1003,
+            "sliver steps detected: {} samples",
+            times.len()
+        );
+        let min_dt = times
+            .windows(2)
+            .map(|w| w[1] - w[0])
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            min_dt > 1e-9,
+            "a sliver step of {min_dt:e} s was taken near the 1 s edge"
+        );
     }
 }

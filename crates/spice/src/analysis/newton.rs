@@ -12,7 +12,7 @@ use crate::device::Device;
 use crate::error::SpiceError;
 use crate::linalg::{DenseMatrix, LuScratch, SparseSolveOutcome, SymbolicLu};
 
-use super::assembly::{assemble, Companions, MatrixRef, StampPlan};
+use super::assembly::{assemble, Companions, EvalCtx, MatrixRef, StampPlan};
 use super::session::{SolverStats, Workspace};
 use super::{OpResult, ABSTOL, GMIN_FLOOR, RELTOL, VNTOL, VSTEP_MAX};
 
@@ -67,6 +67,9 @@ impl SolverBufs<'_> {
 
 /// Newton–Raphson solve at a fixed time, iterating `bufs.x` in place.
 ///
+/// `src_scale` multiplies every independent source value (1.0 in normal
+/// operation; the source-stepping ladder ramps it 0 → 1).
+///
 /// On `Err` the iterate is left mid-update; callers that continue from
 /// the previous solution must restore it from `bufs.x_save`.
 #[allow(clippy::too_many_arguments)]
@@ -79,9 +82,11 @@ pub(super) fn newton(
     gmin: f64,
     companions: Option<&Companions<'_>>,
     max_iter: usize,
+    src_scale: f64,
 ) -> Result<(), SpiceError> {
     let n = plan.n_unknowns;
     let n_nodes = plan.n_nodes;
+    let ctx = EvalCtx { t, src_scale };
     // One atomic load, hoisted so the per-iteration instrumentation
     // below is branch-on-bool when tracing is off.
     let tel = telemetry::enabled();
@@ -93,7 +98,16 @@ pub(super) fn newton(
         let solved = match &mut bufs.engine {
             EngineBufs::Dense { a, lu } => {
                 let mut target = MatrixRef::Dense(a);
-                assemble(plan, ckt, bufs.x, t, gmin, companions, &mut target, bufs.z);
+                assemble(
+                    plan,
+                    ckt,
+                    bufs.x,
+                    ctx,
+                    gmin,
+                    companions,
+                    &mut target,
+                    bufs.z,
+                );
                 // `assemble` rebuilds the matrix next iteration anyway,
                 // so let the factorization consume it in place instead
                 // of paying an n² working-copy memcpy per solve.
@@ -104,7 +118,16 @@ pub(super) fn newton(
                     pattern: &plan.sparse,
                     values,
                 };
-                assemble(plan, ckt, bufs.x, t, gmin, companions, &mut target, bufs.z);
+                assemble(
+                    plan,
+                    ckt,
+                    bufs.x,
+                    ctx,
+                    gmin,
+                    companions,
+                    &mut target,
+                    bufs.z,
+                );
                 match symbolic.factor_and_solve(&plan.sparse, values, bufs.z, bufs.x_new) {
                     None => false,
                     Some(outcome) => {
@@ -175,9 +198,29 @@ pub(super) fn newton(
     })
 }
 
-/// Gmin-stepped operating-point solve at time `t`, starting from zero;
-/// leaves the solution in `bufs.x`.
+/// Robust operating-point solve at time `t`, starting from zero; leaves
+/// the solution in `bufs.x`.
+///
+/// Recovery ladder: gmin stepping first (cheap, solves almost every
+/// circuit), then source stepping (ramp every independent source from
+/// near zero to nominal) when the gmin ladder exhausts without
+/// converging. If both fail, the gmin ladder's error is reported — it
+/// names the analysis the caller asked for, and for structurally
+/// singular systems both rungs fail identically anyway.
 pub(super) fn solve_op_from_zero(
+    plan: &StampPlan,
+    ckt: &Circuit,
+    bufs: &mut SolverBufs<'_>,
+    t: f64,
+) -> Result<(), SpiceError> {
+    match solve_op_gmin_stepped(plan, ckt, bufs, t) {
+        Ok(()) => Ok(()),
+        Err(e) => solve_op_source_stepped(plan, ckt, bufs, t).map_err(|_| e),
+    }
+}
+
+/// Gmin-stepped operating-point solve at time `t`, starting from zero.
+fn solve_op_gmin_stepped(
     plan: &StampPlan,
     ckt: &Circuit,
     bufs: &mut SolverBufs<'_>,
@@ -188,7 +231,7 @@ pub(super) fn solve_op_from_zero(
     for (stage, &gmin) in gmin_ladder.iter().enumerate() {
         telemetry::counter("spice.gmin_rounds", 1);
         bufs.save_x();
-        match newton(plan, ckt, bufs, "op", t, gmin, None, 400) {
+        match newton(plan, ckt, bufs, "op", t, gmin, None, 400, 1.0) {
             Ok(()) => {}
             Err(e) if stage == 0 => return Err(e),
             Err(_) => {
@@ -196,12 +239,66 @@ pub(super) fn solve_op_from_zero(
                 // and continue down the ladder; final stage must succeed.
                 bufs.restore_x();
                 if gmin <= GMIN_FLOOR {
-                    return newton(plan, ckt, bufs, "op", t, GMIN_FLOOR, None, 800);
+                    return newton(plan, ckt, bufs, "op", t, GMIN_FLOOR, None, 800, 1.0);
                 }
             }
         }
     }
     Ok(())
+}
+
+/// First rung of the source-stepping schedule, as a fraction of the
+/// nominal source values. Starting this low keeps the first solve
+/// near-linear (the zero iterate is already the exact solution of the
+/// zero-source system).
+const SOURCE_STEP_START: f64 = 1.0 / 64.0;
+/// Bound on source-stepping Newton solves before giving up — generous
+/// next to the ~13 rounds a clean geometric 1/64 → 1 ramp takes, but
+/// finite even when every rung needs bisection.
+const SOURCE_STEP_MAX_ROUNDS: usize = 48;
+
+/// Source-stepping operating-point solve: ramps every independent
+/// source from `SOURCE_STEP_START` of nominal up to nominal on a
+/// geometric schedule (doubling on success, bisecting the gap on
+/// failure), warm-starting each rung from the previous solution.
+pub(super) fn solve_op_source_stepped(
+    plan: &StampPlan,
+    ckt: &Circuit,
+    bufs: &mut SolverBufs<'_>,
+    t: f64,
+) -> Result<(), SpiceError> {
+    bufs.zero_x(plan.n_unknowns);
+    let mut reached = 0.0_f64;
+    let mut target = SOURCE_STEP_START;
+    for _round in 0..SOURCE_STEP_MAX_ROUNDS {
+        telemetry::counter("spice.source_step_rounds", 1);
+        bufs.stats.source_steps += 1;
+        bufs.save_x();
+        match newton(plan, ckt, bufs, "op", t, GMIN_FLOOR, None, 400, target) {
+            Ok(()) => {
+                if target >= 1.0 {
+                    return Ok(());
+                }
+                reached = target;
+                target = (target * 2.0).min(1.0);
+            }
+            Err(e) => {
+                bufs.restore_x();
+                let gap = target - reached;
+                if gap <= 1e-4 {
+                    // The continuation stalled — the failure is not a
+                    // source-magnitude problem.
+                    return Err(e);
+                }
+                target = reached + 0.5 * gap;
+            }
+        }
+    }
+    Err(SpiceError::NonConvergence {
+        analysis: "op",
+        time: t,
+        iterations: SOURCE_STEP_MAX_ROUNDS,
+    })
 }
 
 /// Extracts an [`OpResult`] from the raw unknown vector, using the
@@ -290,7 +387,7 @@ pub(super) fn run_dc_sweep(
         let solved = if warm {
             // Warm start from the previous point's solution; fall back to
             // the full gmin ladder (which restarts from zero) on failure.
-            newton(plan, ckt, &mut bufs, "dc", 0.0, GMIN_FLOOR, None, 400)
+            newton(plan, ckt, &mut bufs, "dc", 0.0, GMIN_FLOOR, None, 400, 1.0)
                 .or_else(|_| solve_op_from_zero(plan, ckt, &mut bufs, 0.0))
         } else {
             solve_op_from_zero(plan, ckt, &mut bufs, 0.0)

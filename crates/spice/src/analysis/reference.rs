@@ -427,13 +427,19 @@ pub fn dc_sweep(
     Ok(results)
 }
 
-/// Runs a transient with default options using the per-call engine.
+/// Runs a transient with the legacy engine's options (uniform stepping,
+/// backward Euler) using the per-call engine.
+///
+/// This module is the frozen oracle: it pins
+/// [`TransientOptions::fixed`] rather than the process default, so its
+/// behaviour never shifts with `NVFF_TRANSIENT` or with the adaptive
+/// controller's defaults.
 ///
 /// # Errors
 ///
 /// Propagates every error of [`transient_with_options`].
 pub fn transient(ckt: &mut Circuit, stop: Time, step: Time) -> Result<TransientResult, SpiceError> {
-    transient_with_options(ckt, stop, step, TransientOptions::default())
+    transient_with_options(ckt, stop, step, TransientOptions::fixed())
 }
 
 /// Runs a transient analysis with the per-call engine.

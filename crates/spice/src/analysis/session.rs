@@ -67,15 +67,24 @@ pub struct SolverStats {
     pub lu_factorizations: u64,
     /// Transient time steps accepted.
     pub accepted_steps: u64,
-    /// Transient Newton solves that failed to converge (each triggers a
-    /// retry at a smaller step, or the analysis error).
+    /// Transient steps rejected — by Newton non-convergence or by the
+    /// LTE controller (each triggers a retry at a smaller step, or the
+    /// analysis error).
     pub rejected_steps: u64,
-    /// Times a transient step was halved after a rejection.
+    /// Times a transient step was halved after a Newton rejection.
     pub step_halvings: u64,
     /// Factorizations that reused the frozen symbolic pattern (sparse
     /// engine only; always 0 on the dense path). The gap between this
     /// and `lu_factorizations` counts symbolic builds and re-pivots.
     pub pattern_reuses: u64,
+    /// Converged transient steps rejected because the estimated local
+    /// truncation error exceeded `abstol + reltol·|x|` (adaptive
+    /// stepping only; a subset of `rejected_steps`).
+    pub lte_rejections: u64,
+    /// Source-stepping Newton solves run after the gmin ladder exhausted
+    /// (each ramps the independent sources one rung up the geometric
+    /// 0 → nominal schedule).
+    pub source_steps: u64,
 }
 
 impl SolverStats {
@@ -94,6 +103,8 @@ impl SolverStats {
         self.rejected_steps = self.rejected_steps.saturating_add(other.rejected_steps);
         self.step_halvings = self.step_halvings.saturating_add(other.step_halvings);
         self.pattern_reuses = self.pattern_reuses.saturating_add(other.pattern_reuses);
+        self.lte_rejections = self.lte_rejections.saturating_add(other.lte_rejections);
+        self.source_steps = self.source_steps.saturating_add(other.source_steps);
     }
 }
 
@@ -132,6 +143,8 @@ impl Sub for SolverStats {
             rejected_steps: self.rejected_steps.saturating_sub(rhs.rejected_steps),
             step_halvings: self.step_halvings.saturating_sub(rhs.step_halvings),
             pattern_reuses: self.pattern_reuses.saturating_sub(rhs.pattern_reuses),
+            lte_rejections: self.lte_rejections.saturating_sub(rhs.lte_rejections),
+            source_steps: self.source_steps.saturating_sub(rhs.source_steps),
         }
     }
 }
@@ -152,7 +165,23 @@ pub(crate) struct Workspace {
     pub(super) x_save: Vec<f64>,
     pub(super) lu: LuScratch,
     pub(super) cap_states: Vec<CapState>,
+    /// Accepted solution one step back (LTE predictor history).
+    pub(super) x_prev: Vec<f64>,
+    /// Accepted solution two steps back (LTE predictor history).
+    pub(super) x_prev2: Vec<f64>,
+    /// Accepted solution three steps back (quadratic-predictor history).
+    pub(super) x_prev3: Vec<f64>,
     pub(super) stats: SolverStats,
+}
+
+/// The transient loop's slice of the workspace, split off so Newton can
+/// own the solver buffers while the step controller holds the capacitor
+/// and predictor histories mutably.
+pub(super) struct TransientScratch<'w> {
+    pub cap_states: &'w mut Vec<CapState>,
+    pub x_prev: &'w mut Vec<f64>,
+    pub x_prev2: &'w mut Vec<f64>,
+    pub x_prev3: &'w mut Vec<f64>,
 }
 
 impl Workspace {
@@ -171,6 +200,9 @@ impl Workspace {
             x_save: Vec::with_capacity(n),
             lu: LuScratch::for_dim(n),
             cap_states: vec![CapState::default(); plan.caps.len()],
+            x_prev: Vec::with_capacity(n),
+            x_prev2: Vec::with_capacity(n),
+            x_prev3: Vec::with_capacity(n),
             stats: SolverStats::default(),
         }
     }
@@ -188,7 +220,7 @@ impl Workspace {
     /// parallel sweep engine relies on). The cost is one pivot-order
     /// freeze per analysis, amortized over its thousands of
     /// pattern-reusing refactorizations; the buffers stay allocated.
-    pub(super) fn split(&mut self) -> (SolverBufs<'_>, &mut Vec<CapState>) {
+    pub(super) fn split(&mut self) -> (SolverBufs<'_>, TransientScratch<'_>) {
         self.symbolic.invalidate();
         let Self {
             solver,
@@ -201,6 +233,9 @@ impl Workspace {
             x_save,
             lu,
             cap_states,
+            x_prev,
+            x_prev2,
+            x_prev3,
             stats,
         } = self;
         let engine = match solver {
@@ -219,7 +254,12 @@ impl Workspace {
                 x_save,
                 stats,
             },
-            cap_states,
+            TransientScratch {
+                cap_states,
+                x_prev,
+                x_prev2,
+                x_prev3,
+            },
         )
     }
 }

@@ -74,7 +74,7 @@ pub mod result;
 pub mod source;
 pub mod vcd;
 
-pub use analysis::{SimulationSession, SolverKind, SolverStats};
+pub use analysis::{SimulationSession, SolverKind, SolverStats, StepControl, TransientOptions};
 pub use circuit::{Circuit, CircuitSnapshot, NodeId};
 pub use device::Device;
 pub use error::SpiceError;

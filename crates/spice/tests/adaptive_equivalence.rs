@@ -1,0 +1,319 @@
+//! Differential pinning of the adaptive step controller.
+//!
+//! Every generated netlist is simulated four ways — dense fixed-grid,
+//! sparse fixed-grid, dense adaptive and sparse adaptive — and the
+//! waveforms must agree pairwise within `10·reltol` of the local signal
+//! scale at interpolated sample times. Where a closed form exists (the
+//! single-pole RC), all four engines are additionally held to the
+//! analytic solution. The fixed grids are the frozen legacy engine
+//! (backward Euler, uniform `dt`); the adaptive runs are the new
+//! default (trapezoidal corrector under LTE control), so these tests
+//! pin the claim that the controller trades steps, not accuracy.
+
+use proptest::prelude::*;
+use spice::{Circuit, SimulationSession, SolverKind, SourceWaveform, Technology, TransientOptions};
+use units::{Capacitance, Length, Resistance, Time};
+
+/// Pairwise agreement budget: 10× the per-step error the controller is
+/// allowed to accept. An accepted adaptive step may carry estimated LTE
+/// up to `trtol · (reltol·|x| + abstol)` (the divided-difference
+/// estimate over-states the true error by roughly `trtol`, per SPICE
+/// practice), so accumulated drift between two valid engines is bounded
+/// by a small multiple of that — not of bare `reltol`. The analytic
+/// property below separately pins absolute accuracy at 1 % of the
+/// drive, so this looser pairwise band cannot hide a broken integrator.
+const AGREE_RELTOL: f64 = 10.0 * spice::analysis::LTE_TRTOL * spice::analysis::LTE_RELTOL;
+const AGREE_ABSTOL: f64 = 10.0 * spice::analysis::LTE_ABSTOL;
+
+/// Runs `ckt` under the given options/solver and returns the result.
+fn run(
+    ckt: &Circuit,
+    solver: SolverKind,
+    options: TransientOptions,
+    stop: Time,
+    step: Time,
+) -> spice::TransientResult {
+    let mut session = SimulationSession::with_solver(ckt.clone(), solver);
+    session
+        .transient_with_options(stop, step, options)
+        .expect("transient")
+}
+
+/// Asserts two results agree on `nodes` within the pairwise budget, at
+/// 101 uniformly spaced interpolation times (both engines place their
+/// own sample grids, so comparison happens through [`Trace::value_at`]).
+///
+/// Tolerance is taken against the waveform *swing*, not the local
+/// value — during an edge the local value sweeps through zero and any
+/// relative criterion there would demand sub-LSB agreement. A ±2·`step`
+/// time tube additionally absorbs the first-order phase lag backward
+/// Euler exhibits on fast ramps: a point matches if the other waveform
+/// passes through the same level anywhere inside the tube.
+fn assert_agree(
+    a: &spice::TransientResult,
+    b: &spice::TransientResult,
+    nodes: &[String],
+    stop: Time,
+    step: Time,
+    label: &str,
+) -> Result<(), String> {
+    let sample_times: Vec<f64> = (0..=100)
+        .map(|k| stop.seconds() * f64::from(k) / 100.0)
+        .collect();
+    let tube = 2.0 * step.seconds();
+    for name in nodes {
+        let ta = a.node(name).expect("node in a");
+        let tb = b.node(name).expect("node in b");
+        let swing = sample_times
+            .iter()
+            .map(|&t| ta.value_at(t).abs().max(tb.value_at(t).abs()))
+            .fold(0.0f64, f64::max);
+        let tol = AGREE_ABSTOL + AGREE_RELTOL * swing;
+        for &t in &sample_times {
+            let va = ta.value_at(t);
+            // Range check: `va` must fall inside the envelope `b` sweeps
+            // through anywhere in the tube, padded by `tol`.
+            let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+            for j in -10i32..=10 {
+                let ts = (t + f64::from(j) * 0.1 * tube).clamp(0.0, stop.seconds());
+                let vb = tb.value_at(ts);
+                lo = lo.min(vb);
+                hi = hi.max(vb);
+            }
+            if va < lo - tol || va > hi + tol {
+                return Err(format!(
+                    "{label}: node {name} diverges at t = {t:.3e}: {va} vs {} (tol {tol:.2e})",
+                    tb.value_at(t)
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The four-way matrix for one netlist: every engine × step-policy
+/// combination agrees with every other within the budget.
+fn check_four_ways(ckt: &Circuit, nodes: &[String], stop: Time, step: Time) -> Result<(), String> {
+    let fixed = TransientOptions::fixed();
+    let adaptive = TransientOptions::adaptive();
+    let runs = [
+        (
+            "dense/fixed",
+            run(ckt, SolverKind::Dense, fixed, stop, step),
+        ),
+        (
+            "sparse/fixed",
+            run(ckt, SolverKind::Sparse, fixed, stop, step),
+        ),
+        (
+            "dense/adaptive",
+            run(ckt, SolverKind::Dense, adaptive, stop, step),
+        ),
+        (
+            "sparse/adaptive",
+            run(ckt, SolverKind::Sparse, adaptive, stop, step),
+        ),
+    ];
+    for (i, (name_a, a)) in runs.iter().enumerate() {
+        for (name_b, b) in runs.iter().skip(i + 1) {
+            assert_agree(a, b, nodes, stop, step, &format!("{name_a} vs {name_b}"))?;
+        }
+    }
+    // The adaptive runs may not take more steps than the uniform grid:
+    // the controller only coarsens beyond the nominal step.
+    let fixed_steps = runs[0].1.solver_stats().accepted_steps;
+    let adaptive_steps = runs[3].1.solver_stats().accepted_steps;
+    if adaptive_steps > fixed_steps {
+        return Err(format!(
+            "adaptive took {adaptive_steps} steps, fixed {fixed_steps}"
+        ));
+    }
+    Ok(())
+}
+
+/// A chain of R–C low-pass stages driven by a pulse source.
+fn rc_ladder(stages: &[(f64, f64)], pulse_v: f64, rise: f64) -> (Circuit, Vec<String>) {
+    let mut ckt = Circuit::new();
+    let input = ckt.node("in");
+    ckt.add_voltage_source(
+        "VIN",
+        input,
+        Circuit::GROUND,
+        SourceWaveform::Pulse {
+            v0: 0.0,
+            v1: pulse_v,
+            delay: rise,
+            rise,
+            fall: rise,
+            width: 1.0, // wider than any window: a single rising edge
+        },
+    )
+    .expect("VIN");
+    let mut prev = input;
+    let mut nodes = Vec::new();
+    for (k, &(r_ohms, c_farads)) in stages.iter().enumerate() {
+        let node = ckt.node(&format!("s{k}"));
+        ckt.add_resistor(&format!("R{k}"), prev, node, Resistance::from_ohms(r_ohms))
+            .expect("R");
+        ckt.add_capacitor(
+            &format!("C{k}"),
+            node,
+            Circuit::GROUND,
+            Capacitance::from_farads(c_farads),
+        )
+        .expect("C");
+        nodes.push(format!("s{k}"));
+        prev = node;
+    }
+    (ckt, nodes)
+}
+
+/// An inverter chain with per-stage load capacitors, driven by a pulse.
+fn inverter_chain(widths_nm: &[f64], load_ff: f64) -> (Circuit, Vec<String>) {
+    let tech = Technology::tsmc40lp();
+    let mut ckt = Circuit::new();
+    let vdd = ckt.node("vdd");
+    let input = ckt.node("in");
+    ckt.add_voltage_source("VDD", vdd, Circuit::GROUND, SourceWaveform::Dc(tech.vdd))
+        .expect("VDD");
+    ckt.add_voltage_source(
+        "VIN",
+        input,
+        Circuit::GROUND,
+        SourceWaveform::Pulse {
+            v0: 0.0,
+            v1: tech.vdd,
+            delay: 50e-12,
+            rise: 20e-12,
+            fall: 20e-12,
+            width: 400e-12,
+        },
+    )
+    .expect("VIN");
+    let mut prev = input;
+    let mut nodes = Vec::new();
+    for (k, &w) in widths_nm.iter().enumerate() {
+        let out = ckt.node(&format!("o{k}"));
+        ckt.add_pmos(
+            &format!("MP{k}"),
+            out,
+            prev,
+            vdd,
+            &tech,
+            Length::from_nano_meters(2.0 * w),
+        )
+        .expect("MP");
+        ckt.add_nmos(
+            &format!("MN{k}"),
+            out,
+            prev,
+            Circuit::GROUND,
+            &tech,
+            Length::from_nano_meters(w),
+        )
+        .expect("MN");
+        ckt.add_capacitor(
+            &format!("CL{k}"),
+            out,
+            Circuit::GROUND,
+            Capacitance::from_femto_farads(load_ff),
+        )
+        .expect("CL");
+        nodes.push(format!("o{k}"));
+        prev = out;
+    }
+    (ckt, nodes)
+}
+
+proptest! {
+    /// Single-pole RC: all four engine × policy combinations match the
+    /// analytic step response within 1 % of the drive, and each other
+    /// within the pairwise budget.
+    #[test]
+    fn rc_matches_analytic_four_ways(
+        r_kohm in 1.0f64..50.0,
+        c_ff in 20.0f64..400.0,
+        v_drive in 0.4f64..2.0,
+    ) {
+        let r = r_kohm * 1e3;
+        let c = c_ff * 1e-15;
+        let tau = r * c;
+        let stop = Time::from_seconds(3.0 * tau);
+        let step = Time::from_seconds(tau / 200.0);
+
+        let mut ckt = Circuit::new();
+        let input = ckt.node("in");
+        let out = ckt.node("s0");
+        ckt.add_voltage_source("VIN", input, Circuit::GROUND, SourceWaveform::Dc(v_drive))
+            .expect("VIN");
+        ckt.add_resistor("R0", input, out, Resistance::from_ohms(r)).expect("R0");
+        ckt.add_capacitor("C0", out, Circuit::GROUND, Capacitance::from_farads(c))
+            .expect("C0");
+
+        let nodes = vec!["s0".to_string()];
+        // From a zero start the output follows v·(1 − e^{−t/τ}) exactly.
+        let from_zero = |options: TransientOptions| TransientOptions {
+            start: spice::analysis::StartCondition::Zero,
+            ..options
+        };
+        for (label, solver, options) in [
+            ("dense/fixed", SolverKind::Dense, from_zero(TransientOptions::fixed())),
+            ("sparse/fixed", SolverKind::Sparse, from_zero(TransientOptions::fixed())),
+            ("dense/adaptive", SolverKind::Dense, from_zero(TransientOptions::adaptive())),
+            ("sparse/adaptive", SolverKind::Sparse, from_zero(TransientOptions::adaptive())),
+        ] {
+            let result = run(&ckt, solver, options, stop, step);
+            let trace = result.node("s0").expect("s0");
+            for k in 1..=20 {
+                let t = stop.seconds() * f64::from(k) / 20.0;
+                let analytic = v_drive * (1.0 - (-t / tau).exp());
+                let got = trace.value_at(t);
+                prop_assert!(
+                    (got - analytic).abs() < 0.01 * v_drive,
+                    "{label}: |{got} - {analytic}| at t/τ = {:.2}", t / tau
+                );
+            }
+        }
+        check_four_ways(&ckt, &nodes, stop, step)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Random RC ladders: the four-way matrix agrees within the budget.
+    #[test]
+    fn rc_ladders_agree_four_ways(
+        stages in prop::collection::vec((2.0f64..30.0, 20.0f64..200.0), 1..4),
+        v_drive in 0.5f64..1.5,
+    ) {
+        // Scale to seconds/farads; τ per stage spans ~40 ps..6 ns.
+        let stages: Vec<(f64, f64)> = stages
+            .iter()
+            .map(|&(r_kohm, c_ff)| (r_kohm * 1e3, c_ff * 1e-15))
+            .collect();
+        // The window must cover the slowest dynamics (sum of stage τ)
+        // while the uniform grid resolves the fastest pole — otherwise
+        // the fixed-grid backward-Euler runs are themselves inaccurate
+        // and the comparison would measure their error, not agreement.
+        let total: f64 = stages.iter().map(|&(r, c)| r * c).sum();
+        let fastest = stages
+            .iter()
+            .map(|&(r, c)| r * c)
+            .fold(f64::INFINITY, f64::min);
+        let stop = Time::from_seconds(2.0 * total);
+        let step = Time::from_seconds(fastest / 50.0);
+        let (ckt, nodes) = rc_ladder(&stages, v_drive, total / 20.0);
+        check_four_ways(&ckt, &nodes, stop, step).expect("four-way agreement");
+    }
+
+    /// Random MOSFET inverter chains: the four-way matrix agrees within
+    /// the budget through strongly nonlinear switching.
+    #[test]
+    fn inverter_chains_agree_four_ways(
+        widths in prop::collection::vec(150.0f64..500.0, 1..4),
+        load_ff in 2.0f64..10.0,
+    ) {
+        let stop = Time::from_pico_seconds(600.0);
+        let step = Time::from_pico_seconds(0.5);
+        let (ckt, nodes) = inverter_chain(&widths, load_ff);
+        check_four_ways(&ckt, &nodes, stop, step).expect("four-way agreement");
+    }
+}

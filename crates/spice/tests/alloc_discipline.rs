@@ -15,7 +15,7 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use spice::{Circuit, SimulationSession, SourceWaveform, Technology};
+use spice::{Circuit, SimulationSession, SourceWaveform, Technology, TransientOptions};
 use units::{Capacitance, Length, Time, Voltage};
 
 struct CountingAlloc;
@@ -155,13 +155,15 @@ fn warmed_up_session_does_not_allocate_per_iteration_or_per_step() {
         "op allocated {op_allocs} times; only the OpResult assembly may allocate"
     );
 
-    // Transient: result recording grows amortized (doubling vectors per
-    // trace), so the budget is logarithmic in samples per trace — far
-    // below one allocation per accepted step, and incompatible with any
-    // per-step capacitor-list clone.
+    // Transient, fixed grid: result recording grows amortized (doubling
+    // vectors per trace), so the budget is logarithmic in samples per
+    // trace — far below one allocation per accepted step, and
+    // incompatible with any per-step capacitor-list clone.
     session.reset_stats();
     let transient_allocs = count_allocs(|| {
-        session.transient(stop, step).expect("measured transient");
+        session
+            .transient_with_options(stop, step, TransientOptions::fixed())
+            .expect("measured fixed transient");
     });
     let tr_stats = session.stats();
     assert!(
@@ -176,5 +178,35 @@ fn warmed_up_session_does_not_allocate_per_iteration_or_per_step() {
          allocation has crept back in",
         tr_stats.accepted_steps,
         tr_stats.newton_iterations,
+    );
+
+    // Transient, adaptive LTE control: the predictor history
+    // (`x_prev`/`x_prev2`/`x_prev3`) lives in preallocated workspace
+    // buffers rotated by pointer swap, so the controller must not add a
+    // single per-step or per-rejection allocation over the fixed-grid
+    // engine.
+    session.reset_stats();
+    let adaptive_allocs = count_allocs(|| {
+        session
+            .transient_with_options(stop, step, TransientOptions::adaptive())
+            .expect("measured adaptive transient");
+    });
+    let ad_stats = session.stats();
+    assert!(
+        ad_stats.accepted_steps >= 40,
+        "expected a real adaptive transient, got {} steps",
+        ad_stats.accepted_steps
+    );
+    // Relative bound: the run shares the recorder's fixed base cost
+    // (fresh trace vectors per analysis) with the fixed-grid run above,
+    // and records *fewer* samples — so any excess over the fixed run's
+    // count is per-step controller allocation.
+    assert!(
+        adaptive_allocs <= transient_allocs,
+        "adaptive transient allocated {adaptive_allocs} times vs {transient_allocs} \
+         for the fixed grid over {} accepted steps ({} LTE rejections) — the \
+         step controller must run in the preallocated history buffers",
+        ad_stats.accepted_steps,
+        ad_stats.lte_rejections,
     );
 }

@@ -19,7 +19,10 @@
 use mtj::{Mtj, MtjParams, MtjState, WritePolarity};
 use spice::analysis;
 use spice::analysis::reference;
-use spice::{Circuit, SimulationSession, SolverKind, SourceWaveform, Technology, TransientResult};
+use spice::{
+    Circuit, SimulationSession, SolverKind, SourceWaveform, Technology, TransientOptions,
+    TransientResult,
+};
 use units::{Capacitance, Length, Resistance, Time, Voltage};
 
 /// A circuit fixture plus the probe lists the comparison sweeps over.
@@ -266,11 +269,15 @@ fn check_fixture(make: fn() -> Fixture) {
 
     // A throwaway dense session, standing in for the one-shot free
     // functions (which follow the process-default engine and are pinned
-    // against the oracle in `sparse_equivalence.rs`).
+    // against the oracle in `sparse_equivalence.rs`). The reference
+    // engine is frozen at uniform stepping, so these comparisons pin
+    // `StepControl::Fixed`; adaptive-vs-fixed agreement is covered (at
+    // tolerance, not bit-exactly) by `adaptive_equivalence.rs`.
+    let fixed = TransientOptions::fixed();
     let fx_free = make();
     let mut one_shot = SimulationSession::with_solver(fx_free.ckt, SolverKind::Dense);
     let free_result = one_shot
-        .transient(fx_free.stop, fx_free.step)
+        .transient_with_options(fx_free.stop, fx_free.step, fixed)
         .expect("one-shot session");
     let free_ckt = one_shot.into_circuit();
 
@@ -281,9 +288,13 @@ fn check_fixture(make: fn() -> Fixture) {
     let snap = fx.ckt.snapshot();
     let mut session =
         SimulationSession::with_solver(std::mem::take(&mut fx.ckt), SolverKind::Dense);
-    let first = session.transient(fx.stop, fx.step).expect("session run 1");
+    let first = session
+        .transient_with_options(fx.stop, fx.step, fixed)
+        .expect("session run 1");
     session.circuit_mut().restore(&snap);
-    let second = session.transient(fx.stop, fx.step).expect("session run 2");
+    let second = session
+        .transient_with_options(fx.stop, fx.step, fixed)
+        .expect("session run 2");
 
     assert_transients_identical(&fx, &ref_result, &free_result);
     assert_transients_identical(&fx, &ref_result, &first);

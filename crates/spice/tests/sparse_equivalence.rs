@@ -17,7 +17,8 @@
 
 use mtj::{Mtj, MtjParams, MtjState, WritePolarity};
 use spice::{
-    Circuit, SimulationSession, SolverKind, SourceWaveform, SpiceError, Technology, TransientResult,
+    Circuit, SimulationSession, SolverKind, SourceWaveform, SpiceError, Technology,
+    TransientOptions, TransientResult,
 };
 use units::{Capacitance, Length, Resistance, Time, Voltage};
 
@@ -201,16 +202,25 @@ fn assert_transients_agree(fx: &Fixture, dense: &TransientResult, sparse: &Trans
 }
 
 fn check_transient(make: fn() -> Fixture) {
+    // Uniform stepping keeps the two engines' time axes identical by
+    // construction, so the agreement check can demand bit-equal axes
+    // and tight per-sample tolerances. Adaptive-mode dense-vs-sparse
+    // agreement (where an ulp of numerical noise may legitimately pick
+    // different step sequences) is covered at interpolation tolerance
+    // by `adaptive_equivalence.rs`.
+    let fixed = TransientOptions::fixed();
     let fx_dense = make();
     let mut dense = SimulationSession::with_solver(fx_dense.ckt, SolverKind::Dense);
     let dense_result = dense
-        .transient(fx_dense.stop, fx_dense.step)
+        .transient_with_options(fx_dense.stop, fx_dense.step, fixed)
         .expect("dense");
 
     let mut fx = make();
     let mut sparse =
         SimulationSession::with_solver(std::mem::take(&mut fx.ckt), SolverKind::Sparse);
-    let sparse_result = sparse.transient(fx.stop, fx.step).expect("sparse");
+    let sparse_result = sparse
+        .transient_with_options(fx.stop, fx.step, fixed)
+        .expect("sparse");
 
     assert_transients_agree(&fx, &dense_result, &sparse_result);
 

@@ -1,0 +1,153 @@
+//! Property tests for the zero-dependency JSON layer: `parse ∘ to_json`
+//! is the identity on every value the writer can emit, including the
+//! lossy-by-design corners (non-finite floats serialize as `null`).
+//!
+//! The proptest stub only ships scalar/tuple/vec strategies, so
+//! arbitrary documents are grown from a drawn `u64` seed through a
+//! local splitmix generator: same seed, same tree, fully reproducible
+//! from a failure log.
+
+use proptest::prelude::*;
+use telemetry::JsonValue;
+
+/// Splitmix64: tiny, statistically fine for shaping test data.
+struct Mix(u64);
+
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// A string exercising escapes: quotes, backslashes, control
+    /// characters, multi-byte code points and astral-plane characters
+    /// (surrogate pairs in the encoded form).
+    fn string(&mut self) -> String {
+        const ALPHABET: [&str; 12] = [
+            "a", "Z", "\"", "\\", "\n", "\t", "\u{0}", "\u{1b}", "µ", "中", "🦀", "\u{2028}",
+        ];
+        let len = (self.next() % 8) as usize;
+        (0..len)
+            .map(|_| ALPHABET[(self.next() % ALPHABET.len() as u64) as usize])
+            .collect()
+    }
+
+    fn value(&mut self, depth: u32) -> JsonValue {
+        // Leaves only at the bottom; containers get rarer with depth so
+        // trees stay small.
+        let pick = if depth == 0 {
+            self.next() % 6
+        } else {
+            self.next() % 8
+        };
+        match pick {
+            0 => JsonValue::Null,
+            1 => JsonValue::Bool(self.next() & 1 == 0),
+            2 => JsonValue::Int(self.next() as i64),
+            3 => {
+                // Finite floats with a fractional part (integral floats
+                // re-parse as Int — covered by a dedicated property).
+                let mantissa = (self.next() % 1_000_000) as f64 + 0.5;
+                let sign = if self.next() & 1 == 0 { 1.0 } else { -1.0 };
+                JsonValue::Float(sign * mantissa / 128.0)
+            }
+            4 | 5 => JsonValue::Str(self.string()),
+            6 => {
+                let len = (self.next() % 4) as usize;
+                JsonValue::Array((0..len).map(|_| self.value(depth - 1)).collect())
+            }
+            _ => {
+                let len = (self.next() % 4) as usize;
+                JsonValue::Object(
+                    (0..len)
+                        .map(|i| (format!("k{i}_{}", self.string()), self.value(depth - 1)))
+                        .collect(),
+                )
+            }
+        }
+    }
+}
+
+proptest! {
+    /// Writer output always re-parses to the exact same value.
+    #[test]
+    fn roundtrip_is_identity(seed in any::<u64>(), depth in 0u32..5) {
+        let value = Mix(seed).value(depth);
+        let text = value.to_json();
+        let back = JsonValue::parse(&text).expect("writer output parses");
+        prop_assert_eq!(&back, &value);
+        // And the round-trip is a fixed point: serializing again is
+        // byte-identical (insertion order and formatting are stable).
+        prop_assert_eq!(back.to_json(), text);
+    }
+
+    /// Non-finite floats are written as `null` — the documented lossy
+    /// corner — and the result still parses.
+    #[test]
+    fn non_finite_floats_serialize_as_null(seed in any::<u64>()) {
+        let mut mix = Mix(seed);
+        let bad = match mix.next() % 3 {
+            0 => f64::NAN,
+            1 => f64::INFINITY,
+            _ => f64::NEG_INFINITY,
+        };
+        let value = JsonValue::Array(vec![
+            JsonValue::Float(bad),
+            JsonValue::Float(1.5),
+        ]);
+        let back = JsonValue::parse(&value.to_json()).expect("parses");
+        let items = back.as_array().expect("array");
+        prop_assert_eq!(&items[0], &JsonValue::Null);
+        prop_assert_eq!(&items[1], &JsonValue::Float(1.5));
+    }
+
+    /// Integral-valued floats come back as `Int` (the parser classifies
+    /// by lexical shape): the numeric value survives even though the
+    /// variant narrows.
+    #[test]
+    fn integral_floats_reparse_numerically_equal(n in -1_000_000i64..1_000_000) {
+        let value = JsonValue::Float(n as f64);
+        let back = JsonValue::parse(&value.to_json()).expect("parses");
+        prop_assert_eq!(back.as_f64(), Some(n as f64));
+    }
+
+    /// Escaped strings survive arbitrary content drawn from the escape
+    /// alphabet, standalone (not just inside containers).
+    #[test]
+    fn string_escaping_roundtrips(seed in any::<u64>()) {
+        let s = Mix(seed).string();
+        let value = JsonValue::Str(s.clone());
+        let back = JsonValue::parse(&value.to_json()).expect("parses");
+        prop_assert_eq!(back.as_str(), Some(s.as_str()));
+    }
+
+    /// Deep nesting: chains up to the parser's documented depth limit
+    /// round-trip; one level past it is rejected rather than
+    /// overflowing the stack.
+    #[test]
+    fn nesting_depth_boundary(depth in 1u32..127, wrap_in_object in any::<bool>()) {
+        let mut value = JsonValue::Int(7);
+        for _ in 0..depth {
+            value = if wrap_in_object {
+                JsonValue::Object(vec![("x".into(), value)])
+            } else {
+                JsonValue::Array(vec![value])
+            };
+        }
+        let text = value.to_json();
+        let back = JsonValue::parse(&text).expect("within the depth limit");
+        prop_assert_eq!(back, value);
+    }
+}
+
+#[test]
+fn nesting_past_limit_is_rejected() {
+    let text = format!("{}7{}", "[".repeat(200), "]".repeat(200));
+    assert!(
+        JsonValue::parse(&text).is_err(),
+        "200 levels must be rejected"
+    );
+}

@@ -90,6 +90,8 @@ fn solver_stats_fold_is_order_independent() {
             rejected_steps: k % 3,
             step_halvings: k % 2,
             pattern_reuses: k * 7 + 3,
+            lte_rejections: k % 5,
+            source_steps: k % 7,
         })
         .collect();
     let fold = |order: &[usize]| {

@@ -333,4 +333,62 @@ proptest! {
             "{value} printed as {text}"
         );
     }
+
+    /// Fixed-grid and adaptive transients agree on arbitrary RC
+    /// charging circuits: the LTE controller trades steps for the same
+    /// waveform, never a different one. Agreement is measured against
+    /// the signal swing with a 10·trtol·reltol band (the controller
+    /// accepts per-step error up to `trtol·tol`); the adaptive run must
+    /// also never take more steps than the uniform grid it coarsens.
+    #[test]
+    fn adaptive_transient_matches_fixed(
+        r_kohm in 1.0f64..100.0,
+        c_ff in 10.0f64..500.0,
+        v_drive in 0.3f64..2.5,
+    ) {
+        use spice::{Circuit, SimulationSession, SolverKind, SourceWaveform, TransientOptions};
+        use units::{Capacitance, Resistance, Time};
+
+        let r = r_kohm * 1e3;
+        let c = c_ff * 1e-15;
+        let tau = r * c;
+        let stop = Time::from_seconds(4.0 * tau);
+        let step = Time::from_seconds(tau / 100.0);
+
+        let mut ckt = Circuit::new();
+        let input = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.add_voltage_source("VIN", input, Circuit::GROUND, SourceWaveform::Dc(v_drive))
+            .expect("VIN");
+        ckt.add_resistor("R1", input, out, Resistance::from_ohms(r)).expect("R1");
+        ckt.add_capacitor("C1", out, Circuit::GROUND, Capacitance::from_farads(c))
+            .expect("C1");
+
+        let run = |options: TransientOptions| {
+            let mut session = SimulationSession::with_solver(ckt.clone(), SolverKind::Sparse);
+            session
+                .transient_with_options(stop, step, options)
+                .expect("transient")
+        };
+        let fixed = run(TransientOptions::fixed());
+        let adaptive = run(TransientOptions::adaptive());
+
+        let tol = 10.0
+            * (spice::analysis::LTE_TRTOL * spice::analysis::LTE_RELTOL * v_drive
+                + spice::analysis::LTE_ABSTOL);
+        let tf = fixed.node("out").expect("out");
+        let ta = adaptive.node("out").expect("out");
+        for k in 0..=50 {
+            let t = stop.seconds() * f64::from(k) / 50.0;
+            let (vf, va) = (tf.value_at(t), ta.value_at(t));
+            prop_assert!(
+                (vf - va).abs() <= tol,
+                "t = {t:.3e}: fixed {vf} vs adaptive {va} (tol {tol:.2e})"
+            );
+        }
+        prop_assert!(
+            adaptive.solver_stats().accepted_steps <= fixed.solver_stats().accepted_steps,
+            "adaptive took more steps than the uniform grid"
+        );
+    }
 }

@@ -16,16 +16,32 @@ pub struct TestRunner {
     pub cases: u32,
 }
 
+/// Default seed of the deterministic case stream.
+pub const DEFAULT_SEED: u64 = 0x9e37_79b9_7f4a_7c15;
+
 impl Default for TestRunner {
     fn default() -> Self {
         let cases = std::env::var("PROPTEST_CASES")
             .ok()
             .and_then(|v| v.parse().ok())
             .unwrap_or(DEFAULT_CASES);
+        // Fixed seed by default: properties are regression tests here,
+        // and a reproducible stream keeps CI deterministic.
+        // `PROPTEST_SEED` (decimal or 0x-hex) pins a different stream —
+        // CI sets it explicitly so a failure log names the exact stream,
+        // and developers can replay or widen coverage locally.
+        let seed = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|v| {
+                let v = v.trim();
+                match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+                    Some(hex) => u64::from_str_radix(hex, 16).ok(),
+                    None => v.parse().ok(),
+                }
+            })
+            .unwrap_or(DEFAULT_SEED);
         Self {
-            // Fixed seed: properties are regression tests here, and a
-            // reproducible stream keeps CI deterministic.
-            rng: StdRng::seed_from_u64(0x9e37_79b9_7f4a_7c15),
+            rng: StdRng::seed_from_u64(seed),
             cases,
         }
     }
