@@ -92,6 +92,63 @@ pub fn standard_restore(timing: &Timing, vdd: f64) -> StandardRestoreControls {
     }
 }
 
+/// Control waveforms and key instants for an n-bit banked word restore:
+/// `bits` sequential pre-charge + evaluate phases sharing one pre-charge
+/// signal, with one sense-enable pair per bit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WordRestoreControls {
+    /// Shared pre-charge PMOS gate (active low), pulsed once per phase.
+    pub pc_b: SourceWaveform,
+    /// Per-bit sense enables (active high), one pulse each.
+    pub sen: Vec<SourceWaveform>,
+    /// Complements of `sen` (transmission-gate PMOS side).
+    pub sen_b: Vec<SourceWaveform>,
+    /// Per-bit evaluation windows `(start, end)` in read order.
+    pub evals: Vec<(Time, Time)>,
+    /// Total simulation window.
+    pub total: Time,
+}
+
+/// Generates the restore sequence for an n-bit banked word: phase `i`
+/// pre-charges the shared sense outputs to VDD and then evaluates bit
+/// `i`'s MTJ pair. With `bits == 1` the waveforms and instants reduce
+/// exactly to [`standard_restore`].
+///
+/// # Panics
+///
+/// Panics if `bits` is zero.
+#[must_use]
+pub fn word_restore(timing: &Timing, vdd: f64, bits: usize) -> WordRestoreControls {
+    assert!(bits > 0, "a word restore needs at least one bit");
+    let hi = Voltage::from_volts(vdd);
+    let lo = Voltage::ZERO;
+    let e = timing.edge;
+    let period = timing.precharge + timing.evaluate;
+    let mut pc_windows = Vec::with_capacity(bits);
+    let mut evals = Vec::with_capacity(bits);
+    for i in 0..bits {
+        let t0 = timing.lead_in + period * i as f64;
+        let t1 = t0 + timing.precharge;
+        let t2 = t1 + timing.evaluate;
+        pc_windows.push((t0, t1));
+        evals.push((t1 + e, t2));
+    }
+    let total = evals.last().expect("bits > 0").1 + timing.lead_in;
+    WordRestoreControls {
+        pc_b: gate_waveform(&pc_windows, hi, lo, e),
+        sen: evals
+            .iter()
+            .map(|&w| gate_waveform(&[w], lo, hi, e))
+            .collect(),
+        sen_b: evals
+            .iter()
+            .map(|&w| gate_waveform(&[w], hi, lo, e))
+            .collect(),
+        evals,
+        total,
+    }
+}
+
 /// Control waveforms and key instants for the proposed 2-bit restore.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ProposedRestoreControls {
@@ -420,5 +477,48 @@ mod tests {
         assert_eq!(c.wen_b.value_at(mid), 0.0);
         assert_eq!(c.wen.value_at(0.0), 0.0);
         assert!(c.total > c.write_end);
+    }
+
+    #[test]
+    fn one_bit_word_restore_is_the_standard_restore() {
+        let t = timing();
+        let std = standard_restore(&t, 1.1);
+        let word = word_restore(&t, 1.1, 1);
+        assert_eq!(word.pc_b, std.pc_b);
+        assert_eq!(word.sen, vec![std.sen]);
+        assert_eq!(word.sen_b, vec![std.sen_b]);
+        assert_eq!(word.evals, vec![(std.eval_start, std.eval_end)]);
+        assert_eq!(word.total, std.total);
+    }
+
+    #[test]
+    fn word_restore_phases_are_sequential_and_disjoint() {
+        let t = timing();
+        let c = word_restore(&t, 1.1, 4);
+        assert_eq!(c.sen.len(), 4);
+        assert_eq!(c.sen_b.len(), 4);
+        assert_eq!(c.evals.len(), 4);
+        for pair in c.evals.windows(2) {
+            assert!(pair[0].1 < pair[1].0, "windows overlap: {pair:?}");
+        }
+        // Each bit's sense enable is active only inside its own window.
+        for (i, &(start, end)) in c.evals.iter().enumerate() {
+            let mid = ((start + end) * 0.5).seconds();
+            for (j, sen) in c.sen.iter().enumerate() {
+                let v = sen.value_at(mid);
+                if i == j {
+                    assert_eq!(v, 1.1, "bit {j} inactive in its own window");
+                } else {
+                    assert_eq!(v, 0.0, "bit {j} active in bit {i}'s window");
+                }
+            }
+        }
+        assert!(c.total > c.evals[3].1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bit")]
+    fn word_restore_rejects_zero_bits() {
+        let _ = word_restore(&timing(), 1.1, 0);
     }
 }

@@ -20,6 +20,11 @@
 //! tristate-driver paths per bit), reflecting the paper's reliability
 //! argument for not merging write components.
 //!
+//! Both cells are emitted by the parameterized [`generator`], which
+//! generalizes the family to n-bit words ([`generator::NvWord`],
+//! [`generator::WordParams`]) and can package any family member as a
+//! reusable [`spice::Subckt`] definition.
+//!
 //! [`metrics`] runs the store/restore/leakage simulations and extracts
 //! the Table II quantities (read energy & delay, leakage, transistor
 //! count) across process corners; [`control`] generates the Fig. 6/7
@@ -46,6 +51,7 @@
 pub mod config;
 pub mod control;
 pub mod error;
+pub mod generator;
 pub mod margin;
 pub mod metrics;
 pub mod proposed;
@@ -55,6 +61,7 @@ pub mod subckt;
 
 pub use config::{Corner, LatchConfig, Sizing, Timing, Tolerances};
 pub use error::CellError;
+pub use generator::{NvWord, WordParams, WordRestoreOutcome, WordStimulus, WordStoreOutcome};
 pub use margin::ReadMargins;
 pub use metrics::{CellMetrics, CornerEnvelope, LatchComparison, RestoreOutcome, StoreOutcome};
 pub use proposed::ProposedLatch;

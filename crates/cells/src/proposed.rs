@@ -34,8 +34,8 @@
 
 use std::cell::RefCell;
 
-use mtj::{Mtj, MtjState, WritePolarity};
-use spice::{Circuit, NodeId, SimulationSession, SourceWaveform};
+use mtj::MtjState;
+use spice::{Circuit, SimulationSession, SourceWaveform};
 use units::Time;
 
 use crate::config::LatchConfig;
@@ -92,7 +92,6 @@ impl Clone for ProposedLatch {
 }
 
 mod names {
-    pub const VDD: &str = "vdd";
     pub const Q: &str = "mtj_read";
     pub const QB: &str = "mtj_read_b";
     pub const MTJ1: &str = "MTJ1";
@@ -446,199 +445,17 @@ impl ProposedLatch {
 
     /// Builds the 2-bit latch circuit with the given stimulus and the MTJ
     /// pairs preset to `stored = [bit0 (lower pair), bit1 (upper pair)]`.
+    ///
+    /// Delegates to [`crate::generator::word_circuit`] at the family's
+    /// `bits = 2` point, which reproduces the original hand-wired
+    /// construction bit-for-bit (node, source and device order).
     fn build(&self, stim: &Stimulus, stored: [bool; 2]) -> Result<Circuit, CellError> {
-        let cfg = &self.config;
-        let tech = &cfg.tech;
-        let s = &cfg.sizing;
-        let mut ckt = Circuit::new();
-        let gnd = Circuit::GROUND;
-        let vdd = ckt.node(names::VDD);
-        let q = ckt.node(names::Q);
-        let qb = ckt.node(names::QB);
-        let (tl, tr, mt) = (ckt.node("tl"), ckt.node("tr"), ckt.node("mt"));
-        let (nl, nr, m) = (ckt.node("nl"), ckt.node("nr"), ckt.node("m"));
-        let (a3, a4) = (ckt.node("a3"), ckt.node("a4"));
-
-        let pcv_b = ckt.node("pcv_b");
-        let pcg = ckt.node("pcg");
-        let ren = ckt.node("ren");
-        let ren_b = ckt.node("ren_b");
-        let sel_b = ckt.node("sel_b");
-        let p4_b = ckt.node("p4_b");
-        let n4 = ckt.node("n4");
-        let (d0, d0b) = (ckt.node("d0"), ckt.node("d0b"));
-        let (d1, d1b) = (ckt.node("d1"), ckt.node("d1b"));
-        let (wen, wen_b) = (ckt.node("wen"), ckt.node("wen_b"));
-
-        let node_of = [
-            ("VDD", vdd),
-            ("VPCVB", pcv_b),
-            ("VPCG", pcg),
-            ("VREN", ren),
-            ("VRENB", ren_b),
-            ("VSELB", sel_b),
-            ("VP4B", p4_b),
-            ("VN4", n4),
-            ("VD0", d0),
-            ("VD0B", d0b),
-            ("VD1", d1),
-            ("VD1B", d1b),
-            ("VWEN", wen),
-            ("VWENB", wen_b),
-        ];
-        for (name, node) in node_of {
-            ckt.add_voltage_source(name, node, gnd, stim.wave(name))?;
-        }
-
-        // Pre-charge devices (to VDD and to GND).
-        ckt.add_pmos("PCVA", q, pcv_b, vdd, tech, s.precharge)?;
-        ckt.add_pmos("PCVB2", qb, pcv_b, vdd, tech, s.precharge)?;
-        ckt.add_nmos("PCGA", q, pcg, gnd, tech, s.precharge)?;
-        ckt.add_nmos("PCGB", qb, pcg, gnd, tech, s.precharge)?;
-        // Cross-coupled core with split source taps.
-        ckt.add_pmos("P1", q, qb, tl, tech, s.cross_pmos)?;
-        ckt.add_pmos("P2", qb, q, tr, tech, s.cross_pmos)?;
-        ckt.add_nmos("N1", q, qb, nl, tech, s.cross_nmos)?;
-        ckt.add_nmos("N2", qb, q, nr, tech, s.cross_nmos)?;
-        // Header/footer sense enables.
-        ckt.add_pmos("P3", mt, sel_b, vdd, tech, s.sense_enable)?;
-        ckt.add_nmos("N3", m, ren, gnd, tech, s.sense_enable)?;
-        // Tap equalizers.
-        ckt.add_pmos("P4", tl, p4_b, tr, tech, s.equalizer)?;
-        ckt.add_nmos("N4", nl, n4, nr, tech, s.equalizer)?;
-        // Lower-pair isolation transmission gates.
-        crate::subckt::add_transmission_gate(
-            &mut ckt,
-            "T1",
-            nl,
-            a3,
-            ren,
-            ren_b,
-            tech,
-            s.transmission,
-        )?;
-        crate::subckt::add_transmission_gate(
-            &mut ckt,
-            "T2",
-            nr,
-            a4,
-            ren,
-            ren_b,
-            tech,
-            s.transmission,
-        )?;
-
-        // Upper complementary pair (bit 1): tl —MTJ1— mt —MTJ2— tr.
-        // Polarities chosen so the I1/I2 drive of D1 = 1 leaves MTJ1 = P,
-        // which makes `q` the faster-rising (winning) output on the
-        // upper-pair read.
-        let state1 = MtjState::from_bit(stored[1]);
-        ckt.add_mtj(
-            names::MTJ1,
-            tl,
-            mt,
-            Mtj::new(
-                cfg.mtj.clone(),
-                state1.toggled(),
-                WritePolarity::PositiveSetsAntiParallel,
-            ),
-        )?;
-        ckt.add_mtj(
-            names::MTJ2,
-            mt,
-            tr,
-            Mtj::new(cfg.mtj.clone(), state1, WritePolarity::PositiveSetsParallel),
-        )?;
-        // Lower complementary pair (bit 0): a3 —MTJ3— m —MTJ4— a4.
-        let state0 = MtjState::from_bit(stored[0]);
-        ckt.add_mtj(
-            names::MTJ3,
-            a3,
-            m,
-            Mtj::new(
-                cfg.mtj.clone(),
-                state0,
-                WritePolarity::PositiveSetsAntiParallel,
-            ),
-        )?;
-        ckt.add_mtj(
-            names::MTJ4,
-            m,
-            a4,
-            Mtj::new(
-                cfg.mtj.clone(),
-                state0.toggled(),
-                WritePolarity::PositiveSetsParallel,
-            ),
-        )?;
-
-        // Write drivers. Lower pair per the paper: I4 takes D0 (at a4),
-        // I3 takes D̄0 (at a3), so D0 = 1 drives a3 → m → a4 and stores
-        // MTJ3 = AP. Upper pair: I1 takes D1 (at tl), I2 takes D̄1 (at
-        // tr), so D1 = 1 drives tr → mt → tl and stores MTJ1 = P /
-        // MTJ2 = AP — the orientation that makes `q` win the upper read.
-        crate::subckt::add_tristate_inverter(
-            &mut ckt,
-            "I3",
-            d0b,
-            a3,
-            wen,
-            wen_b,
-            vdd,
-            gnd,
-            tech,
-            s.write_pmos,
-            s.write_nmos,
-        )?;
-        crate::subckt::add_tristate_inverter(
-            &mut ckt,
-            "I4",
-            d0,
-            a4,
-            wen,
-            wen_b,
-            vdd,
-            gnd,
-            tech,
-            s.write_pmos,
-            s.write_nmos,
-        )?;
-        crate::subckt::add_tristate_inverter(
-            &mut ckt,
-            "I1",
-            d1,
-            tl,
-            wen,
-            wen_b,
-            vdd,
-            gnd,
-            tech,
-            s.write_pmos,
-            s.write_nmos,
-        )?;
-        crate::subckt::add_tristate_inverter(
-            &mut ckt,
-            "I2",
-            d1b,
-            tr,
-            wen,
-            wen_b,
-            vdd,
-            gnd,
-            tech,
-            s.write_pmos,
-            s.write_nmos,
-        )?;
-        // Output wiring load.
-        ckt.add_capacitor("CQ", q, gnd, s.output_load)?;
-        ckt.add_capacitor(
-            "CQB",
-            qb,
-            gnd,
-            s.output_load * (1.0 + s.output_load_mismatch),
-        )?;
-        let _ = (NodeId::GROUND, mt);
-        Ok(ckt)
+        crate::generator::word_circuit(
+            &crate::generator::WordParams::new(2),
+            &self.config,
+            &stim.word_stimulus(),
+            &stored,
+        )
     }
 }
 
@@ -711,12 +528,13 @@ impl Stimulus {
         slot.1 = wave;
     }
 
-    fn wave(&self, name: &str) -> SourceWaveform {
-        self.entries
-            .iter()
-            .find(|(n, _)| *n == name)
-            .map(|(_, w)| w.clone())
-            .expect("stimulus names are fixed")
+    /// The stimulus as the generator's name-addressed form.
+    fn word_stimulus(&self) -> crate::generator::WordStimulus {
+        crate::generator::WordStimulus::from_pairs(
+            self.entries
+                .iter()
+                .map(|(name, wave)| ((*name).to_owned(), wave.clone())),
+        )
     }
 
     /// `(source name, idle level)` pairs for leakage accounting.

@@ -27,7 +27,7 @@
 
 use std::cell::RefCell;
 
-use mtj::{Mtj, MtjState, WritePolarity};
+use mtj::MtjState;
 use spice::{analysis, Circuit, SimulationSession, SourceWaveform};
 use units::Time;
 
@@ -73,7 +73,6 @@ impl Clone for StandardLatch {
 /// Node/source names used by the harness (kept in one place so tests and
 /// waveform dumps agree).
 mod names {
-    pub const VDD: &str = "vdd";
     pub const VDD_SOURCE: &str = "VDD";
     pub const Q: &str = "q";
     pub const QB: &str = "qb";
@@ -319,122 +318,17 @@ impl StandardLatch {
 
     /// Builds the latch circuit with the given control stimulus and the
     /// MTJ pair preset to hold `stored`.
+    ///
+    /// Delegates to [`crate::generator::word_circuit`] at the family's
+    /// `bits = 1` point, which reproduces the original hand-wired
+    /// construction bit-for-bit (node, source and device order).
     fn build(&self, controls: &IdleControls, stored: [bool; 1]) -> Result<Circuit, CellError> {
-        let cfg = &self.config;
-        let tech = &cfg.tech;
-        let s = &cfg.sizing;
-        let mut ckt = Circuit::new();
-        let gnd = Circuit::GROUND;
-        let vdd = ckt.node(names::VDD);
-        let q = ckt.node(names::Q);
-        let qb = ckt.node(names::QB);
-        let sl = ckt.node("sl");
-        let sr = ckt.node("sr");
-        let w1 = ckt.node("w1");
-        let w2 = ckt.node("w2");
-        let wm = ckt.node("wm");
-        let pc_b = ckt.node("pc_b");
-        let sen = ckt.node("sen");
-        let sen_b = ckt.node("sen_b");
-        let d = ckt.node("d");
-        let db = ckt.node("db");
-        let wen = ckt.node("wen");
-        let wen_b = ckt.node("wen_b");
-
-        for (name, node, wave) in controls.sources(vdd, pc_b, sen, sen_b, d, db, wen, wen_b) {
-            ckt.add_voltage_source(&name, node, gnd, wave)?;
-        }
-
-        // Pre-charge pair.
-        ckt.add_pmos("PCA", q, pc_b, vdd, tech, s.precharge)?;
-        ckt.add_pmos("PCB2", qb, pc_b, vdd, tech, s.precharge)?;
-        // Cross-coupled core.
-        ckt.add_pmos("P1", q, qb, vdd, tech, s.cross_pmos)?;
-        ckt.add_pmos("P2", qb, q, vdd, tech, s.cross_pmos)?;
-        ckt.add_nmos("N1", q, qb, sl, tech, s.cross_nmos)?;
-        ckt.add_nmos("N2", qb, q, sr, tech, s.cross_nmos)?;
-        // Isolation transmission gates.
-        crate::subckt::add_transmission_gate(
-            &mut ckt,
-            "T1",
-            sl,
-            w1,
-            sen,
-            sen_b,
-            tech,
-            s.transmission,
-        )?;
-        crate::subckt::add_transmission_gate(
-            &mut ckt,
-            "T2",
-            sr,
-            w2,
-            sen,
-            sen_b,
-            tech,
-            s.transmission,
-        )?;
-        // Sense-enable footer.
-        ckt.add_nmos("NEN", wm, sen, gnd, tech, s.sense_enable)?;
-        // Complementary MTJ pair.
-        let state_a = MtjState::from_bit(stored[0]);
-        ckt.add_mtj(
-            names::MTJ_A,
-            w1,
-            wm,
-            Mtj::new(
-                cfg.mtj.clone(),
-                state_a,
-                WritePolarity::PositiveSetsAntiParallel,
-            ),
-        )?;
-        ckt.add_mtj(
-            names::MTJ_B,
-            wm,
-            w2,
-            Mtj::new(
-                cfg.mtj.clone(),
-                state_a.toggled(),
-                WritePolarity::PositiveSetsParallel,
-            ),
-        )?;
-        // Write drivers: IA at w1 takes D̄, IB at w2 takes D, so D = 1
-        // pushes current w1 → wm → w2 and stores MTJ-A = AP.
-        crate::subckt::add_tristate_inverter(
-            &mut ckt,
-            "IA",
-            db,
-            w1,
-            wen,
-            wen_b,
-            vdd,
-            gnd,
-            tech,
-            s.write_pmos,
-            s.write_nmos,
-        )?;
-        crate::subckt::add_tristate_inverter(
-            &mut ckt,
-            "IB",
-            d,
-            w2,
-            wen,
-            wen_b,
-            vdd,
-            gnd,
-            tech,
-            s.write_pmos,
-            s.write_nmos,
-        )?;
-        // Output wiring load.
-        ckt.add_capacitor("CQ", q, gnd, s.output_load)?;
-        ckt.add_capacitor(
-            "CQB",
-            qb,
-            gnd,
-            s.output_load * (1.0 + s.output_load_mismatch),
-        )?;
-        Ok(ckt)
+        crate::generator::word_circuit(
+            &crate::generator::WordParams::new(1),
+            &self.config,
+            &controls.stimulus(),
+            &stored,
+        )
     }
 }
 
@@ -488,29 +382,13 @@ impl IdleControls {
         }
     }
 
-    /// `(source name, node, waveform)` triples for circuit construction.
-    #[allow(clippy::too_many_arguments)]
-    fn sources(
-        &self,
-        vdd: spice::NodeId,
-        pc_b: spice::NodeId,
-        sen: spice::NodeId,
-        sen_b: spice::NodeId,
-        d: spice::NodeId,
-        db: spice::NodeId,
-        wen: spice::NodeId,
-        wen_b: spice::NodeId,
-    ) -> Vec<(String, spice::NodeId, SourceWaveform)> {
-        vec![
-            ("VDD".into(), vdd, self.vdd_wave.clone()),
-            ("VPCB".into(), pc_b, self.pc_b.clone()),
-            ("VSEN".into(), sen, self.sen.clone()),
-            ("VSENB".into(), sen_b, self.sen_b.clone()),
-            ("VD".into(), d, self.d.clone()),
-            ("VDB".into(), db, self.db.clone()),
-            ("VWEN".into(), wen, self.wen.clone()),
-            ("VWENB".into(), wen_b, self.wen_b.clone()),
-        ]
+    /// The stimulus as the generator's name-addressed form.
+    fn stimulus(&self) -> crate::generator::WordStimulus {
+        crate::generator::WordStimulus::from_pairs(
+            self.waves()
+                .into_iter()
+                .map(|(name, wave)| (name.to_owned(), wave.clone())),
+        )
     }
 
     /// `(source name, waveform)` pairs for retargeting an already-built

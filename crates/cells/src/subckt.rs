@@ -1,9 +1,88 @@
 //! Reusable transistor-level sub-circuits (transmission gate, tristate
 //! inverter, static inverter) instantiated into a [`spice::Circuit`] with
 //! hierarchical instance names.
+//!
+//! Instance device names are joined onto the parent name with
+//! [`spice::join_path`], so a helper expanded inside a
+//! [`spice::Subckt`] body nests cleanly when the definition is
+//! flattened (`U0.T1.MN`, …).
+//!
+//! The free `add_*` functions are **deprecated**: cells are now emitted
+//! by [`crate::generator`], which expands these primitives as part of a
+//! [`crate::generator::word_circuit`] / [`crate::generator::word_subckt`]
+//! build rather than as ad-hoc additions to a flat circuit.
 
-use spice::{Circuit, NodeId, SpiceError, Technology};
+use spice::{join_path, Circuit, NodeId, SpiceError, Technology};
 use units::Length;
+
+/// Expands a static CMOS inverter `out = !in` between the given rails.
+/// Device names are `<name>.MP` / `<name>.MN`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn inverter(
+    ckt: &mut Circuit,
+    name: &str,
+    input: NodeId,
+    output: NodeId,
+    vdd: NodeId,
+    gnd: NodeId,
+    tech: &Technology,
+    wp: Length,
+    wn: Length,
+) -> Result<(), SpiceError> {
+    ckt.add_pmos(&join_path(name, "MP"), output, input, vdd, tech, wp)?;
+    ckt.add_nmos(&join_path(name, "MN"), output, input, gnd, tech, wn)?;
+    Ok(())
+}
+
+/// Expands a transmission gate between `a` and `b`, conducting when `en`
+/// is high (and its complement `en_b` low). Device names are
+/// `<name>.MN` / `<name>.MP`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn transmission_gate(
+    ckt: &mut Circuit,
+    name: &str,
+    a: NodeId,
+    b: NodeId,
+    en: NodeId,
+    en_b: NodeId,
+    tech: &Technology,
+    w: Length,
+) -> Result<(), SpiceError> {
+    ckt.add_nmos(&join_path(name, "MN"), a, en, b, tech, w)?;
+    ckt.add_pmos(&join_path(name, "MP"), a, en_b, b, tech, w)?;
+    Ok(())
+}
+
+/// Expands a tristate inverter: `out = !in` when `en` high / `en_b` low,
+/// high-impedance otherwise. This is the write driver of both latch
+/// designs (paper Fig. 5, inverters I1–I4).
+///
+/// Stack order: `vdd → MPI(g=in) → MPE(g=en_b) → out → MNE(g=en) →
+/// MNI(g=in) → gnd`. Device names are `<name>.MPI`, `<name>.MPE`,
+/// `<name>.MNE`, `<name>.MNI`; the stack's internal nodes are interned
+/// as `<name>.mp` / `<name>.mn`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn tristate_inverter(
+    ckt: &mut Circuit,
+    name: &str,
+    input: NodeId,
+    output: NodeId,
+    en: NodeId,
+    en_b: NodeId,
+    vdd: NodeId,
+    gnd: NodeId,
+    tech: &Technology,
+    wp: Length,
+    wn: Length,
+) -> Result<(), SpiceError> {
+    let mid_p = ckt.node(&join_path(name, "mp"));
+    let mid_n = ckt.node(&join_path(name, "mn"));
+    ckt.add_pmos(&join_path(name, "MPI"), mid_p, input, vdd, tech, wp)?;
+    ckt.add_pmos(&join_path(name, "MPE"), output, en_b, mid_p, tech, wp)?;
+    ckt.add_nmos(&join_path(name, "MNE"), output, en, mid_n, tech, wn)?;
+    ckt.add_nmos(&join_path(name, "MNI"), mid_n, input, gnd, tech, wn)?;
+    Ok(())
+}
 
 /// Adds a static CMOS inverter `out = !in` between the given rails.
 ///
@@ -12,6 +91,10 @@ use units::Length;
 /// # Errors
 ///
 /// Propagates [`SpiceError`] from device construction (duplicate names).
+#[deprecated(
+    since = "0.6.0",
+    note = "build cells through `cells::generator`, which emits this primitive internally"
+)]
 #[allow(clippy::too_many_arguments)]
 pub fn add_inverter(
     ckt: &mut Circuit,
@@ -24,9 +107,7 @@ pub fn add_inverter(
     wp: Length,
     wn: Length,
 ) -> Result<(), SpiceError> {
-    ckt.add_pmos(&format!("{name}.MP"), output, input, vdd, tech, wp)?;
-    ckt.add_nmos(&format!("{name}.MN"), output, input, gnd, tech, wn)?;
-    Ok(())
+    inverter(ckt, name, input, output, vdd, gnd, tech, wp, wn)
 }
 
 /// Adds a transmission gate between `a` and `b`, conducting when `en` is
@@ -37,6 +118,10 @@ pub fn add_inverter(
 /// # Errors
 ///
 /// Propagates [`SpiceError`] from device construction.
+#[deprecated(
+    since = "0.6.0",
+    note = "build cells through `cells::generator`, which emits this primitive internally"
+)]
 #[allow(clippy::too_many_arguments)]
 pub fn add_transmission_gate(
     ckt: &mut Circuit,
@@ -48,9 +133,7 @@ pub fn add_transmission_gate(
     tech: &Technology,
     w: Length,
 ) -> Result<(), SpiceError> {
-    ckt.add_nmos(&format!("{name}.MN"), a, en, b, tech, w)?;
-    ckt.add_pmos(&format!("{name}.MP"), a, en_b, b, tech, w)?;
-    Ok(())
+    transmission_gate(ckt, name, a, b, en, en_b, tech, w)
 }
 
 /// Adds a tristate inverter: `out = !in` when `en` high / `en_b` low,
@@ -64,6 +147,10 @@ pub fn add_transmission_gate(
 /// # Errors
 ///
 /// Propagates [`SpiceError`] from device construction.
+#[deprecated(
+    since = "0.6.0",
+    note = "build cells through `cells::generator`, which emits this primitive internally"
+)]
 #[allow(clippy::too_many_arguments)]
 pub fn add_tristate_inverter(
     ckt: &mut Circuit,
@@ -78,13 +165,7 @@ pub fn add_tristate_inverter(
     wp: Length,
     wn: Length,
 ) -> Result<(), SpiceError> {
-    let mid_p = ckt.node(&format!("{name}.mp"));
-    let mid_n = ckt.node(&format!("{name}.mn"));
-    ckt.add_pmos(&format!("{name}.MPI"), mid_p, input, vdd, tech, wp)?;
-    ckt.add_pmos(&format!("{name}.MPE"), output, en_b, mid_p, tech, wp)?;
-    ckt.add_nmos(&format!("{name}.MNE"), output, en, mid_n, tech, wn)?;
-    ckt.add_nmos(&format!("{name}.MNI"), mid_n, input, gnd, tech, wn)?;
-    Ok(())
+    tristate_inverter(ckt, name, input, output, en, en_b, vdd, gnd, tech, wp, wn)
 }
 
 #[cfg(test)]
@@ -124,7 +205,7 @@ mod tests {
             let inp = ckt.node("in");
             let out = ckt.node("out");
             drive(&mut ckt, "VIN", inp, vin);
-            add_inverter(
+            inverter(
                 &mut ckt,
                 "INV",
                 inp,
@@ -159,7 +240,7 @@ mod tests {
             drive(&mut ckt, "VA", a, 0.8);
             drive(&mut ckt, "VEN", en, en_level);
             drive(&mut ckt, "VENB", en_b, 1.1 - en_level);
-            add_transmission_gate(
+            transmission_gate(
                 &mut ckt,
                 "T1",
                 a,
@@ -205,7 +286,7 @@ mod tests {
             drive(&mut ckt, "VIN", inp, vin);
             drive(&mut ckt, "VEN", en, en_level);
             drive(&mut ckt, "VENB", en_b, 1.1 - en_level);
-            add_tristate_inverter(
+            tristate_inverter(
                 &mut ckt,
                 "I1",
                 inp,
@@ -253,7 +334,7 @@ mod tests {
         let a = ckt.node("a");
         let b = ckt.node("b");
         for (name, input, output) in [("I4", d, a), ("I3", db, b)] {
-            add_tristate_inverter(
+            tristate_inverter(
                 &mut ckt,
                 name,
                 input,

@@ -398,6 +398,198 @@ pub fn proposed_2bit_spec(include_write_drivers: bool) -> CellSpec {
     s
 }
 
+/// Spec of an n-bit banked NV word (the `cells::generator` banked arm):
+/// the standard cell's shared PCSA core plus, per bit, two transmission
+/// gates, a sense-enable footer and a complementary MTJ pair — `6 + 5n`
+/// read-path transistors, `2n` MTJs, and 8 write-driver devices per bit
+/// when included.
+fn banked_word_spec(bits: usize, include_write_drivers: bool) -> CellSpec {
+    let mut s = CellSpec::new(&format!("NVWORD{bits}"));
+    let t = &mut s.transistors;
+    // Shared PCSA core (6 devices).
+    t.push(TransistorSpec::new(
+        "PCA",
+        Row::P,
+        "pc_b",
+        "vdd",
+        "q",
+        nm(400.0),
+    ));
+    t.push(TransistorSpec::new(
+        "PCB2",
+        Row::P,
+        "pc_b",
+        "vdd",
+        "qb",
+        nm(400.0),
+    ));
+    t.push(TransistorSpec::new(
+        "P1",
+        Row::P,
+        "qb",
+        "vdd",
+        "q",
+        nm(400.0),
+    ));
+    t.push(TransistorSpec::new(
+        "P2",
+        Row::P,
+        "q",
+        "vdd",
+        "qb",
+        nm(400.0),
+    ));
+    t.push(TransistorSpec::new(
+        "N1",
+        Row::N,
+        "qb",
+        "sl",
+        "q",
+        nm(360.0),
+    ));
+    t.push(TransistorSpec::new(
+        "N2",
+        Row::N,
+        "q",
+        "sr",
+        "qb",
+        nm(360.0),
+    ));
+    // Per-bit read branch (5 devices + MTJ pair).
+    for i in 0..bits {
+        let (w1, w2, wm) = (format!("w1_{i}"), format!("w2_{i}"), format!("wm_{i}"));
+        let (sen, sen_b) = (format!("sen{i}"), format!("sen_b{i}"));
+        t.push(TransistorSpec::new(
+            &format!("T{i}A.MP"),
+            Row::P,
+            &sen_b,
+            "sl",
+            &w1,
+            nm(240.0),
+        ));
+        t.push(TransistorSpec::new(
+            &format!("T{i}B.MP"),
+            Row::P,
+            &sen_b,
+            "sr",
+            &w2,
+            nm(240.0),
+        ));
+        t.push(TransistorSpec::new(
+            &format!("T{i}A.MN"),
+            Row::N,
+            &sen,
+            "sl",
+            &w1,
+            nm(240.0),
+        ));
+        t.push(TransistorSpec::new(
+            &format!("T{i}B.MN"),
+            Row::N,
+            &sen,
+            "sr",
+            &w2,
+            nm(240.0),
+        ));
+        t.push(TransistorSpec::new(
+            &format!("NEN{i}"),
+            Row::N,
+            &sen,
+            "gnd",
+            &wm,
+            nm(480.0),
+        ));
+        s.mtjs.push(MtjSpec::new(&format!("MTJA{i}"), &w1, &wm));
+        s.mtjs.push(MtjSpec::new(&format!("MTJB{i}"), &wm, &w2));
+    }
+    if include_write_drivers {
+        for i in 0..bits {
+            for (inv, input, out) in [
+                (format!("IA{i}"), format!("db{i}"), format!("w1_{i}")),
+                (format!("IB{i}"), format!("d{i}"), format!("w2_{i}")),
+            ] {
+                let mid_p = format!("{inv}.mp");
+                let mid_n = format!("{inv}.mn");
+                t.push(TransistorSpec::new(
+                    &format!("{inv}.MPI"),
+                    Row::P,
+                    &input,
+                    "vdd",
+                    &mid_p,
+                    nm(600.0),
+                ));
+                t.push(TransistorSpec::new(
+                    &format!("{inv}.MPE"),
+                    Row::P,
+                    "wen_b",
+                    &mid_p,
+                    &out,
+                    nm(600.0),
+                ));
+                t.push(TransistorSpec::new(
+                    &format!("{inv}.MNE"),
+                    Row::N,
+                    "wen",
+                    &mid_n,
+                    &out,
+                    nm(300.0),
+                ));
+                t.push(TransistorSpec::new(
+                    &format!("{inv}.MNI"),
+                    Row::N,
+                    &input,
+                    "gnd",
+                    &mid_n,
+                    nm(300.0),
+                ));
+            }
+        }
+    }
+    s
+}
+
+/// Spec of an n-bit NV word component, parametric in the bit count.
+///
+/// The family's legacy points return the hand-written specs (`bits = 1`
+/// → [`standard_1bit_spec`], `bits = 2` → [`proposed_2bit_spec`]); other
+/// widths return the banked generalization matching
+/// `cells::generator`'s banked arm.
+///
+/// # Panics
+///
+/// Panics if `bits` is zero.
+#[must_use]
+pub fn word_spec(bits: usize, include_write_drivers: bool) -> CellSpec {
+    assert!(bits > 0, "an NV word stores at least one bit");
+    match bits {
+        1 => standard_1bit_spec(include_write_drivers),
+        2 => proposed_2bit_spec(include_write_drivers),
+        _ => banked_word_spec(bits, include_write_drivers),
+    }
+}
+
+/// Layout of an n-bit NV word component (read path, NV-calibrated
+/// margins).
+///
+/// # Panics
+///
+/// Panics if `bits` is zero.
+#[must_use]
+pub fn word_layout(bits: usize, rules: &DesignRules) -> CellLayout {
+    CellLayout::synthesize(&word_spec(bits, false), &nv_component_rules(rules))
+}
+
+/// NV-component area of an n-bit word — the Table II quantity,
+/// generalized over the family.
+///
+/// # Panics
+///
+/// Panics if `bits` is zero.
+#[must_use]
+pub fn word_area(bits: usize, rules: &DesignRules) -> Area {
+    word_layout(bits, rules).area()
+}
+
 /// Layout of the standard 1-bit NV component (read path, NV-calibrated
 /// margins).
 #[must_use]
@@ -507,5 +699,47 @@ mod tests {
         let without = CellLayout::synthesize(&proposed_2bit_spec(false), &rules);
         let with = CellLayout::synthesize(&proposed_2bit_spec(true), &rules);
         assert!(with.area() > without.area());
+    }
+
+    #[test]
+    fn word_spec_reduces_to_the_legacy_specs() {
+        for wd in [false, true] {
+            assert_eq!(
+                word_spec(1, wd).transistor_count(),
+                standard_1bit_spec(wd).transistor_count()
+            );
+            assert_eq!(
+                word_spec(2, wd).transistor_count(),
+                proposed_2bit_spec(wd).transistor_count()
+            );
+        }
+    }
+
+    #[test]
+    fn word_spec_counts_scale_with_bits() {
+        for bits in [3, 4, 8] {
+            assert_eq!(word_spec(bits, false).transistor_count(), 6 + 5 * bits);
+            assert_eq!(word_spec(bits, true).transistor_count(), 6 + 13 * bits);
+            assert_eq!(word_spec(bits, false).mtjs.len(), 2 * bits);
+        }
+    }
+
+    #[test]
+    fn word_layouts_pass_the_geometry_check_and_grow_sublinearly() {
+        let rules = DesignRules::n40();
+        let mut prev = word_area(1, &rules);
+        for bits in [2, 4, 8] {
+            let layout = word_layout(bits, &rules);
+            assert!(layout.check().is_empty(), "{:?}", layout.check());
+            let area = layout.area();
+            assert!(area > prev, "{bits}-bit area {area} vs {prev}");
+            // Sharing the sense amplifier keeps the word under `bits`
+            // 1-bit components.
+            assert!(
+                area < word_area(1, &rules) * bits as f64,
+                "{bits}-bit area {area}"
+            );
+            prev = area;
+        }
     }
 }

@@ -40,6 +40,7 @@
 pub mod pairing;
 pub mod timing;
 pub mod transform;
+pub mod word;
 
 use place::PlacedDesign;
 use units::Length;
@@ -47,6 +48,7 @@ use units::Length;
 pub use pairing::{FlipFlopPoint, MergePlan, MergedPair, Strategy};
 pub use timing::TimingModel;
 pub use transform::{MergedComponent, MergedDesign};
+pub use word::{plan_words, WordOptions, WordPlan};
 
 /// Options of the merge flow.
 #[derive(Debug, Clone, Copy, PartialEq)]

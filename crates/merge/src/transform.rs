@@ -127,6 +127,64 @@ pub fn apply(design: &PlacedDesign, plan: &MergePlan) -> MergedDesign {
     }
 }
 
+/// Applies a word-merge plan: every flip-flop group of `k` members
+/// becomes one `NVDFF<k>` component (backed by the generator's k-bit NV
+/// word) at the group's centroid; other cells pass through. The
+/// pair-based [`apply`] is the `bits_per_cell = 2` special case of this
+/// transform.
+///
+/// # Panics
+///
+/// Panics if the plan was computed for a different design.
+#[must_use]
+pub fn apply_words(design: &PlacedDesign, plan: &crate::word::WordPlan) -> MergedDesign {
+    let mut components = Vec::with_capacity(design.cells().len());
+    for cell in design.cells() {
+        if !cell.kind.is_flip_flop() {
+            components.push(MergedComponent {
+                name: cell.name.clone(),
+                master: cell.kind.to_string(),
+                x: cell.x.micro_meters(),
+                y: cell.y.micro_meters(),
+                nv_bits: 0,
+            });
+        }
+    }
+    let points = plan.points();
+    for g in plan.groups() {
+        let bits = g.members.len();
+        let name = g
+            .members
+            .iter()
+            .map(|&i| points[i].name.as_str())
+            .collect::<Vec<_>>()
+            .join("+");
+        let (sx, sy) = g.members.iter().fold((0.0, 0.0), |(sx, sy), &i| {
+            (sx + points[i].x, sy + points[i].y)
+        });
+        components.push(MergedComponent {
+            name,
+            master: format!("NVDFF{bits}"),
+            x: sx / bits as f64,
+            y: sy / bits as f64,
+            nv_bits: bits,
+        });
+    }
+    let ff_count = design.flip_flops().count();
+    assert_eq!(
+        plan.points().len(),
+        ff_count,
+        "word plan was computed for a different design"
+    );
+
+    MergedDesign {
+        name: design.name().to_owned(),
+        components,
+        merged_pairs: plan.shared_words(),
+        single_ffs: plan.single_flip_flops(),
+    }
+}
+
 /// Legalizes the NV components of a merged design: snaps each to the
 /// nearest row and placement site, then resolves overlaps between NV
 /// components within a row by shifting right (and spilling back left at
@@ -272,6 +330,34 @@ mod tests {
             max_move < placed.floorplan().die_width().micro_meters() / 2.0,
             "max move {max_move}"
         );
+    }
+
+    #[test]
+    fn word_merge_conserves_bits_for_any_width() {
+        let n = benchmarks::generate(benchmarks::by_name("s344").unwrap());
+        let placed = placer::place(&n, &CellLibrary::n40(), &PlacerOptions::default());
+        let ff_count = placed.flip_flops().count();
+        for bits in [1, 2, 4, 8] {
+            let plan = crate::word::plan_words(&placed, &crate::WordOptions::for_bits(bits));
+            let merged = apply_words(&placed, &plan);
+            assert_eq!(merged.nv_bits(), ff_count, "bits_per_cell = {bits}");
+            for comp in merged.components().iter().filter(|c| c.nv_bits > 0) {
+                assert!(comp.nv_bits <= bits);
+                assert_eq!(comp.master, format!("NVDFF{}", comp.nv_bits));
+            }
+        }
+    }
+
+    #[test]
+    fn two_bit_word_merge_matches_the_pair_transform() {
+        let (placed, merged) = merged_s344();
+        let words = apply_words(
+            &placed,
+            &crate::word::plan_words(&placed, &crate::WordOptions::for_bits(2)),
+        );
+        assert_eq!(words.nv_bits(), merged.nv_bits());
+        assert_eq!(words.merged_pairs(), merged.merged_pairs());
+        assert_eq!(words.single_flip_flops(), merged.single_flip_flops());
     }
 
     #[test]

@@ -1,0 +1,282 @@
+//! Grouping flip-flops into shared n-bit NV words.
+//!
+//! The paper merges neighbour flip-flop *pairs* into one 2-bit shadow
+//! latch. With the parameterized cell generator (`cells::generator`)
+//! the swap target generalizes: any cluster of up to `bits_per_cell`
+//! flip-flops whose mutual spacing respects the distance threshold can
+//! share one n-bit NV word. The grouping is agglomerative
+//! closest-edge-first over the same candidate graph the pairing uses —
+//! with `bits_per_cell = 2` it reproduces
+//! [`Strategy::GreedyClosest`](crate::Strategy) pairing exactly.
+
+use place::PlacedDesign;
+use units::Length;
+
+use crate::pairing::{candidates, FlipFlopPoint};
+
+/// Options of the word-merge flow.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WordOptions {
+    /// Distance threshold below which two flip-flops may join the same
+    /// NV word (the paper's 3.35 µm for the pair case).
+    pub threshold: Length,
+    /// Maximum flip-flops sharing one NV word — the generator's `bits`
+    /// parameter of the swap-in cell.
+    pub bits_per_cell: usize,
+}
+
+impl WordOptions {
+    /// Paper-threshold options for a given word width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits_per_cell` is zero.
+    #[must_use]
+    pub fn for_bits(bits_per_cell: usize) -> Self {
+        assert!(bits_per_cell > 0, "a word stores at least one bit");
+        Self {
+            threshold: Length::from_micro_meters(3.35),
+            bits_per_cell,
+        }
+    }
+}
+
+impl Default for WordOptions {
+    fn default() -> Self {
+        Self::for_bits(2)
+    }
+}
+
+/// One group of flip-flops sharing an NV word.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WordGroup {
+    /// Member indices into the analysis point list, ascending.
+    pub members: Vec<usize>,
+}
+
+/// Result of the word-merge analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WordPlan {
+    points: Vec<FlipFlopPoint>,
+    groups: Vec<WordGroup>,
+    threshold: Length,
+    bits_per_cell: usize,
+}
+
+impl WordPlan {
+    /// The analyzed flip-flop locations.
+    #[must_use]
+    pub fn points(&self) -> &[FlipFlopPoint] {
+        &self.points
+    }
+
+    /// The groups, each becoming one NV word. Every flip-flop appears
+    /// in exactly one group (singletons keep a 1-bit word).
+    #[must_use]
+    pub fn groups(&self) -> &[WordGroup] {
+        &self.groups
+    }
+
+    /// The configured word width.
+    #[must_use]
+    pub fn bits_per_cell(&self) -> usize {
+        self.bits_per_cell
+    }
+
+    /// The distance threshold used.
+    #[must_use]
+    pub fn threshold(&self) -> Length {
+        self.threshold
+    }
+
+    /// Number of groups with at least two members (shared words).
+    #[must_use]
+    pub fn shared_words(&self) -> usize {
+        self.groups.iter().filter(|g| g.members.len() > 1).count()
+    }
+
+    /// Number of flip-flops left with their own 1-bit word.
+    #[must_use]
+    pub fn single_flip_flops(&self) -> usize {
+        self.groups.iter().filter(|g| g.members.len() == 1).count()
+    }
+
+    /// Fraction of flip-flops that share a word with a neighbour.
+    #[must_use]
+    pub fn grouped_fraction(&self) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        let grouped: usize = self
+            .groups
+            .iter()
+            .filter(|g| g.members.len() > 1)
+            .map(|g| g.members.len())
+            .sum();
+        grouped as f64 / self.points.len() as f64
+    }
+
+    /// Total NV components after substitution (= group count).
+    #[must_use]
+    pub fn component_count(&self) -> usize {
+        self.groups.len()
+    }
+}
+
+/// Groups flip-flops into words of up to `bits_per_cell` members:
+/// candidate edges (within `threshold`) are visited closest-first and
+/// two clusters merge whenever their combined size still fits one word.
+///
+/// # Panics
+///
+/// Panics if `options.bits_per_cell` is zero.
+#[must_use]
+pub fn group(points: &[FlipFlopPoint], options: &WordOptions) -> WordPlan {
+    assert!(options.bits_per_cell > 0, "a word stores at least one bit");
+    let mut edges = candidates(points, options.threshold);
+    edges.sort_by(|p, q| {
+        p.distance
+            .partial_cmp(&q.distance)
+            .expect("finite")
+            .then_with(|| (p.a, p.b).cmp(&(q.a, q.b)))
+    });
+
+    // Union–find with the smallest member index as representative, so
+    // the grouping is independent of edge processing details.
+    let mut parent: Vec<usize> = (0..points.len()).collect();
+    let mut size = vec![1usize; points.len()];
+    fn find(parent: &mut [usize], mut v: usize) -> usize {
+        while parent[v] != v {
+            parent[v] = parent[parent[v]];
+            v = parent[v];
+        }
+        v
+    }
+    for e in &edges {
+        let (ra, rb) = (find(&mut parent, e.a), find(&mut parent, e.b));
+        if ra != rb && size[ra] + size[rb] <= options.bits_per_cell {
+            let (keep, absorb) = if ra < rb { (ra, rb) } else { (rb, ra) };
+            parent[absorb] = keep;
+            size[keep] += size[absorb];
+        }
+    }
+
+    let mut by_root: std::collections::BTreeMap<usize, Vec<usize>> =
+        std::collections::BTreeMap::new();
+    for v in 0..points.len() {
+        let r = find(&mut parent, v);
+        by_root.entry(r).or_default().push(v);
+    }
+    let groups = by_root
+        .into_values()
+        .map(|members| WordGroup { members })
+        .collect();
+    WordPlan {
+        points: points.to_vec(),
+        groups,
+        threshold: options.threshold,
+        bits_per_cell: options.bits_per_cell,
+    }
+}
+
+/// Runs the word-merge analysis over a placed design.
+#[must_use]
+pub fn plan_words(design: &PlacedDesign, options: &WordOptions) -> WordPlan {
+    let points: Vec<FlipFlopPoint> = design
+        .flip_flops()
+        .map(|c| FlipFlopPoint {
+            name: c.name.clone(),
+            x: c.x.micro_meters(),
+            y: c.y.micro_meters(),
+        })
+        .collect();
+    group(&points, options)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pairing::{self, Strategy};
+
+    fn grid(n: usize, pitch: f64) -> Vec<FlipFlopPoint> {
+        (0..n)
+            .map(|i| FlipFlopPoint {
+                name: format!("ff{i}"),
+                x: i as f64 * pitch,
+                y: 0.0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn two_bit_words_reproduce_greedy_pairing() {
+        let points = grid(7, 2.0);
+        let options = WordOptions::for_bits(2);
+        let words = group(&points, &options);
+        let pairs = pairing::pair(&points, options.threshold, Strategy::GreedyClosest);
+        assert_eq!(words.shared_words(), pairs.merged_pairs());
+        assert_eq!(words.single_flip_flops(), pairs.unmerged_count());
+        let mut pair_sets: Vec<Vec<usize>> = pairs
+            .pairs()
+            .iter()
+            .map(|p| {
+                let mut v = vec![p.a, p.b];
+                v.sort_unstable();
+                v
+            })
+            .collect();
+        pair_sets.sort();
+        let mut word_sets: Vec<Vec<usize>> = words
+            .groups()
+            .iter()
+            .filter(|g| g.members.len() == 2)
+            .map(|g| g.members.clone())
+            .collect();
+        word_sets.sort();
+        assert_eq!(pair_sets, word_sets);
+    }
+
+    #[test]
+    fn wider_words_absorb_whole_clusters() {
+        // Four flip-flops within mutual reach + one remote straggler.
+        let mut points = grid(4, 1.0);
+        points.push(FlipFlopPoint {
+            name: "far".into(),
+            x: 100.0,
+            y: 0.0,
+        });
+        let words = group(&points, &WordOptions::for_bits(4));
+        assert_eq!(words.component_count(), 2);
+        assert_eq!(words.groups()[0].members, vec![0, 1, 2, 3]);
+        assert_eq!(words.groups()[1].members, vec![4]);
+        assert_eq!(words.shared_words(), 1);
+        assert_eq!(words.single_flip_flops(), 1);
+        assert!((words.grouped_fraction() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn groups_partition_the_flip_flops() {
+        let points = grid(13, 1.5);
+        for bits in [1, 2, 3, 4, 8] {
+            let words = group(&points, &WordOptions::for_bits(bits));
+            let mut seen = vec![false; points.len()];
+            for g in words.groups() {
+                assert!(g.members.len() <= bits, "oversized group {g:?}");
+                assert!(!g.members.is_empty());
+                for &m in &g.members {
+                    assert!(!seen[m], "duplicate member {m}");
+                    seen[m] = true;
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "bits = {bits}");
+        }
+    }
+
+    #[test]
+    fn one_bit_words_never_group() {
+        let points = grid(5, 0.5);
+        let words = group(&points, &WordOptions::for_bits(1));
+        assert_eq!(words.component_count(), 5);
+        assert_eq!(words.shared_words(), 0);
+    }
+}

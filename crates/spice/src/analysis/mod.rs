@@ -326,6 +326,18 @@ pub fn transient_with_options(
     transient::run(&plan, ckt, &mut ws, stop, step, options)
 }
 
+/// Structural nonzero pattern of the MNA matrix this circuit assembles,
+/// as frozen by a stamp-plan probe pass (the same pattern a
+/// [`SimulationSession`] solves against).
+///
+/// Exposed for structural equivalence checks — e.g. pinning that a
+/// generator-built cell stamps the identical matrix as its hand-built
+/// ancestor — without running an analysis.
+#[must_use]
+pub fn matrix_pattern(ckt: &Circuit) -> crate::linalg::SparsePattern {
+    StampPlan::build(ckt).sparse
+}
+
 /// Returns the MTJ states currently held by a circuit, in device order.
 #[must_use]
 pub fn mtj_states(ckt: &Circuit) -> Vec<(String, MtjState)> {

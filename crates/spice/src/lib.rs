@@ -72,6 +72,7 @@ pub mod measure;
 pub mod mosfet;
 pub mod result;
 pub mod source;
+pub mod subckt;
 pub mod vcd;
 
 pub use analysis::{SimulationSession, SolverKind, SolverStats, StepControl, TransientOptions};
@@ -81,3 +82,4 @@ pub use error::SpiceError;
 pub use mosfet::{CmosCorner, MosfetKind, MosfetModel, Technology};
 pub use result::{Trace, TransientResult};
 pub use source::SourceWaveform;
+pub use subckt::{join_path, Subckt};

@@ -293,7 +293,7 @@ const PIVOT_DECAY: f64 = 1e-6;
 /// Built once per stamp plan from a structure-probing assembly pass; the
 /// value array it indexes lives in the solver workspace and is re-filled
 /// every Newton iteration.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SparsePattern {
     n: usize,
     row_ptr: Vec<u32>,

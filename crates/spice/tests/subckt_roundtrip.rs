@@ -1,0 +1,178 @@
+//! Property tests: `.subckt` definitions survive the deck round-trip.
+//!
+//! A randomly generated RC subcircuit is serialized with
+//! [`spice::deck::write_subckt`], re-parsed with
+//! [`spice::deck::parse_library`], and instantiated — the re-parsed
+//! definition must flatten to the same devices, node names and MNA
+//! matrix pattern as the original, optionally through one level of
+//! nesting.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use spice::analysis::matrix_pattern;
+use spice::deck::{self, DeckContext};
+use spice::{Circuit, Device, NodeId, SourceWaveform, Subckt};
+use units::{Capacitance, Resistance};
+
+/// One randomly placed passive device inside the subckt body:
+/// `(resistor?, first endpoint, offset to second endpoint, value)`.
+type RandomDevice = (bool, usize, usize, f64);
+
+/// The node endpoints of one device, in declaration order.
+fn endpoints(device: &Device) -> Vec<NodeId> {
+    match device {
+        Device::Resistor { a, b, .. }
+        | Device::Capacitor { a, b, .. }
+        | Device::Mtj { a, b, .. } => vec![*a, *b],
+        Device::VoltageSource { pos, neg, .. } | Device::CurrentSource { pos, neg, .. } => {
+            vec![*pos, *neg]
+        }
+        Device::Mosfet { d, g, s, .. } => vec![*d, *g, *s],
+    }
+}
+
+/// Builds the random definition: ports `p0..`, internals `x0..`, and
+/// resistors/capacitors between distinct nodes (ground included).
+///
+/// Internal nodes are interned on first use (as the deck parser does),
+/// so the definition only contains device-reachable internals — the
+/// class of definitions the deck round-trip preserves exactly.
+fn build_subckt(ports: usize, internals: usize, devices: &[RandomDevice]) -> Subckt {
+    let port_names: Vec<String> = (0..ports).map(|i| format!("p{i}")).collect();
+    let port_refs: Vec<&str> = port_names.iter().map(String::as_str).collect();
+    let mut sub = Subckt::new("CELL", &port_refs).expect("definition");
+    let body = sub.body_mut();
+    let mut names = vec!["0".to_owned()];
+    names.extend(port_names.iter().cloned());
+    names.extend((0..internals).map(|i| format!("x{i}")));
+    let resolve = |body: &mut Circuit, name: &str| {
+        if name == "0" {
+            Circuit::GROUND
+        } else {
+            body.node(name)
+        }
+    };
+    for (i, &(is_resistor, a_pick, b_offset, value)) in devices.iter().enumerate() {
+        let a_name = names[a_pick % names.len()].clone();
+        let b_name = names[(a_pick + b_offset) % names.len()].clone();
+        if a_name == b_name {
+            // Skip before interning: a dangling internal node would not
+            // survive the round-trip (the parser only sees used nodes).
+            continue;
+        }
+        let a = resolve(body, &a_name);
+        let b = resolve(body, &b_name);
+        if is_resistor {
+            body.add_resistor(&format!("R{i}"), a, b, Resistance::from_kilo_ohms(value))
+                .expect("resistor");
+        } else {
+            body.add_capacitor(
+                &format!("C{i}"),
+                a,
+                b,
+                Capacitance::from_femto_farads(value),
+            )
+            .expect("capacitor");
+        }
+    }
+    sub
+}
+
+/// Reference flattening: top nodes `a0..`, one instance, one source.
+fn reference_circuit(sub: &Subckt) -> Circuit {
+    let mut ckt = Circuit::new();
+    let top: Vec<NodeId> = (0..sub.ports().len())
+        .map(|i| ckt.node(&format!("a{i}")))
+        .collect();
+    ckt.instantiate("U1", sub, &top).expect("instantiate");
+    ckt.add_voltage_source("V1", top[0], Circuit::GROUND, SourceWaveform::Dc(1.0))
+        .expect("V1");
+    ckt
+}
+
+fn assert_same_flattening(parsed: &Circuit, reference: &Circuit) -> Result<(), String> {
+    prop_assert_eq!(parsed.node_count(), reference.node_count());
+    prop_assert_eq!(parsed.devices().len(), reference.devices().len());
+    for (p, r) in parsed.devices().iter().zip(reference.devices()) {
+        // Debug covers the device kind, name, endpoints and the exact
+        // value bits (`{}`/`{:e}` formatting of f64 round-trips).
+        prop_assert_eq!(format!("{p:?}"), format!("{r:?}"));
+    }
+    for id in reference.devices().iter().flat_map(endpoints) {
+        let name = reference.node_name(id);
+        prop_assert!(parsed.find_node(name) == Some(id), "node `{name}` moved");
+    }
+    prop_assert!(
+        matrix_pattern(parsed) == matrix_pattern(reference),
+        "MNA patterns diverged"
+    );
+    Ok(())
+}
+
+fn device_strategy() -> impl Strategy<Value = RandomDevice> {
+    (any::<bool>(), 0usize..16, 1usize..16, 1.0f64..1000.0)
+}
+
+proptest! {
+    /// Flat definition: write → parse → instantiate reproduces the
+    /// original flattening exactly.
+    #[test]
+    fn flat_subckt_round_trips(
+        ports in 2usize..5,
+        internals in 0usize..4,
+        devices in prop::collection::vec(device_strategy(), 1..7),
+    ) {
+        let sub = build_subckt(ports, internals, &devices);
+        let port_list: Vec<String> = (0..ports).map(|i| format!("a{i}")).collect();
+        let text = format!(
+            "* round-trip\n{}XU1 {} CELL\nV1 a0 0 DC 1\n.END\n",
+            deck::write_subckt(&sub),
+            port_list.join(" "),
+        );
+        let parsed = deck::parse_library(&text, &DeckContext::default()).expect("parse");
+        prop_assert_eq!(parsed.subckts.len(), 1);
+        let back = &parsed.subckts[0];
+        prop_assert_eq!(back.name(), sub.name());
+        prop_assert_eq!(back.ports(), sub.ports());
+        prop_assert_eq!(back.flattened_device_count(), sub.flattened_device_count());
+        prop_assert_eq!(back.flattened_internal_count(), sub.flattened_internal_count());
+        assert_same_flattening(&parsed.circuit, &reference_circuit(&sub))?;
+    }
+
+    /// Nested definition (a pair of CELL instances inside PAIR): the
+    /// library round-trip preserves the two-level flattening.
+    #[test]
+    fn nested_subckt_round_trips(
+        internals in 0usize..3,
+        devices in prop::collection::vec(device_strategy(), 1..5),
+    ) {
+        let cell = Arc::new(build_subckt(2, internals, &devices));
+        let mut pair = Subckt::new("PAIR", &["l", "r"]).expect("pair");
+        let (left, right, mid) = {
+            let body = pair.body_mut();
+            let mid = body.node("mid");
+            (
+                body.find_node("l").expect("l"),
+                body.find_node("r").expect("r"),
+                mid,
+            )
+        };
+        pair.add_instance("A", &cell, &[left, mid]).expect("A");
+        pair.add_instance("B", &cell, &[mid, right]).expect("B");
+
+        let text = format!(
+            "* nested round-trip\n{}{}XU1 a0 a1 PAIR\nV1 a0 0 DC 1\n.END\n",
+            deck::write_subckt(&cell),
+            deck::write_subckt(&pair),
+        );
+        let parsed = deck::parse_library(&text, &DeckContext::default()).expect("parse");
+        prop_assert_eq!(parsed.subckts.len(), 2);
+        prop_assert_eq!(parsed.subckts[1].child_instances().len(), 2);
+        prop_assert_eq!(
+            parsed.subckts[1].flattened_device_count(),
+            pair.flattened_device_count()
+        );
+        assert_same_flattening(&parsed.circuit, &reference_circuit(&pair))?;
+    }
+}

@@ -57,6 +57,19 @@ NVFF_TRACE="jsonl:$smoke_trace" \
 cargo run --offline -q -p telemetry --example validate -- "$smoke_json"
 cargo run --offline -q -p telemetry --example validate -- "$smoke_trace"
 
+echo "==> family smoke: family --quick --json (n = 1, 2, 4)"
+# The cell-family bench characterizes the generator's n-bit words and
+# flattens each word's subcircuit twice, so the validated report must
+# carry the shared-StampPlan counters (spice.subckt.plan_reuses > 0).
+family_json="target/ci_family_report.json"
+cargo run --offline -q -p nvff-bench --bin family -- --quick --json "$family_json" \
+    >/dev/null
+cargo run --offline -q -p telemetry --example validate -- "$family_json"
+grep -q '"spice.subckt.plan_reuses"' "$family_json" || {
+    echo "family report is missing the shared-plan counters" >&2
+    exit 1
+}
+
 echo "==> solver smoke: table2 --quick, sparse vs dense agreement"
 # The same characterization under both LU engines must print the same
 # physics. Newton-iteration counts may legitimately differ by an ulp of
