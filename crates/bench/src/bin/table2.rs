@@ -2,12 +2,16 @@
 //! 1-bit latches against the proposed 2-bit latch, as worst/typical/best
 //! envelopes over the 3 × 3 CMOS ⊗ MTJ corner grid.
 //!
-//! Usage: `table2 [--quick] [--jobs <N>] [--json <path>]` (`--quick`
-//! evaluates the three diagonal corners only; `--jobs` sets the corner
-//! worker count, `0`/absent = one per hardware thread, `1` = serial;
-//! `--json` additionally writes a machine-readable run report with
-//! wall-clock, solver work, parallel accounting and the telemetry span
-//! tree). The printed table is byte-identical for every `--jobs` value.
+//! Usage: `table2 [--quick] [--jobs <N>] [--json <path>]
+//! [--serve <addr>]` (`--quick` evaluates the three diagonal corners
+//! only; `--jobs` sets the corner worker count, `0`/absent = one per
+//! hardware thread, `1` = serial; `--json` additionally writes a
+//! machine-readable run report with wall-clock, solver work, parallel
+//! accounting and the telemetry span tree; `--serve` exposes the live
+//! registry at `http://<addr>/metrics` for the duration of the run —
+//! see `nvff_bench::serve_from_args` for the companion
+//! `--serve-addr-file` / `--serve-linger` flags). The printed table is
+//! byte-identical for every `--jobs` value.
 
 use std::time::Instant;
 
@@ -23,6 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if json_path.is_some() {
         telemetry::ensure_collecting();
     }
+    let metrics_server = nvff_bench::serve_from_args();
     let root_span = telemetry::span("table2");
     let wall_start = Instant::now();
 
@@ -228,6 +233,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         run.add(section);
         run.write(&path, &snap)?;
         println!("run report written to {}", path.display());
+    }
+    if let Some(guard) = metrics_server {
+        guard.finish();
     }
     Ok(())
 }

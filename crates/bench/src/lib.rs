@@ -68,6 +68,99 @@ pub fn jobs_from_args() -> usize {
     0
 }
 
+/// A running `/metrics` sidecar owned by a bench binary — see
+/// [`serve_from_args`]. Keep it alive for the duration of the run and
+/// call [`finish`](ServeGuard::finish) after the results are written.
+pub struct ServeGuard {
+    server: serve::MetricsServer,
+    linger: std::time::Duration,
+}
+
+impl ServeGuard {
+    /// The address the sidecar actually bound (resolves `--serve`
+    /// port `0`).
+    #[must_use]
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.server.local_addr()
+    }
+
+    /// Ends the sidecar: if `--serve-linger <secs>` was given, keeps
+    /// serving for up to that long (released early by
+    /// `GET /quitquitquit`) so a scraper can collect the final state,
+    /// then shuts the server down.
+    pub fn finish(mut self) {
+        if !self.linger.is_zero() {
+            eprintln!(
+                "serving http://{}/metrics for up to {:.0}s more (GET /quitquitquit to release)",
+                self.server.local_addr(),
+                self.linger.as_secs_f64(),
+            );
+            self.server.wait_quit(Some(self.linger));
+        }
+        self.server.shutdown();
+    }
+}
+
+/// Starts the `/metrics` sidecar when `--serve <addr>` is on the
+/// process command line; returns `None` when the flag is absent.
+///
+/// Companion flags: `--serve-addr-file <path>` writes the bound address
+/// (one line) so scripts can discover an OS-assigned port, and
+/// `--serve-linger <secs>` keeps the server up after the run finishes
+/// (see [`ServeGuard::finish`]). Serving implies telemetry collection —
+/// a scrape of an empty registry would be pointless — so this calls
+/// [`telemetry::ensure_collecting`]. Exits the process on a bind
+/// failure: a requested-but-dead metrics endpoint should not fail
+/// silently.
+///
+/// # Examples
+///
+/// ```
+/// // No --serve flag in the test harness's own argv.
+/// assert!(nvff_bench::serve_from_args().is_none());
+/// ```
+#[must_use]
+pub fn serve_from_args() -> Option<ServeGuard> {
+    let mut addr: Option<String> = None;
+    let mut addr_file: Option<std::path::PathBuf> = None;
+    let mut linger = std::time::Duration::ZERO;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--serve" => addr = args.next(),
+            "--serve-addr-file" => addr_file = args.next().map(std::path::PathBuf::from),
+            "--serve-linger" => {
+                let secs: f64 = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("warning: --serve-linger expects seconds; using 0");
+                    0.0
+                });
+                linger = std::time::Duration::from_secs_f64(secs.max(0.0));
+            }
+            _ => {
+                if let Some(v) = a.strip_prefix("--serve=") {
+                    addr = Some(v.to_owned());
+                }
+            }
+        }
+    }
+    let addr = addr?;
+    telemetry::ensure_collecting();
+    let server = match serve::MetricsServer::bind(addr.as_str()) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("error: --serve {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!("serving http://{}/metrics", server.local_addr());
+    if let Some(path) = addr_file {
+        if let Err(e) = std::fs::write(&path, format!("{}\n", server.local_addr())) {
+            eprintln!("warning: --serve-addr-file {}: {e}", path.display());
+        }
+    }
+    Some(ServeGuard { server, linger })
+}
+
 /// Appends a [`sweep::RunSummary`] to a run-report section as the
 /// `parallel.*` fields of the `nvff-run-report/1` schema: worker count,
 /// wall-clock vs cumulative solver-side job time, and realized speedup.

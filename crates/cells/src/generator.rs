@@ -1287,7 +1287,8 @@ impl BankedWord {
             None => {
                 telemetry::counter("cells.session_miss", 1);
                 let ckt = word_circuit(&self.params, &self.config, stim, stored)?;
-                slot.insert(SimulationSession::new(ckt))
+                let label = format!("nv_word_{}b", self.params.bits);
+                slot.insert(SimulationSession::new(ckt).with_label(&label))
             }
         };
         let ckt = session.circuit_mut();

@@ -147,7 +147,7 @@ impl ProposedLatch {
             None => {
                 telemetry::counter("cells.session_miss", 1);
                 let ckt = self.build(stim, stored)?;
-                slot.insert(SimulationSession::new(ckt))
+                slot.insert(SimulationSession::new(ckt).with_label("proposed_2bit"))
             }
         };
         let ckt = session.circuit_mut();

@@ -1,0 +1,58 @@
+//! Zero-dependency HTTP GET client for smoke tests:
+//!
+//! ```text
+//! cargo run -p serve --example scrape -- 127.0.0.1:9464 /metrics
+//! ```
+//!
+//! Prints the response body to stdout; exits nonzero if the connection
+//! fails or the status is not 200. `scripts/ci.sh` uses this instead of
+//! curl so the smoke test works in the offline build container.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let (Some(addr), Some(path)) = (args.next(), args.next()) else {
+        eprintln!("usage: scrape <addr> <path>");
+        std::process::exit(2);
+    };
+
+    let mut stream = match TcpStream::connect(&addr) {
+        Ok(stream) => stream,
+        Err(e) => {
+            eprintln!("scrape: connect {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let request = format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
+    if let Err(e) = stream.write_all(request.as_bytes()) {
+        eprintln!("scrape: write: {e}");
+        std::process::exit(1);
+    }
+
+    let mut response = String::new();
+    if let Err(e) = stream.read_to_string(&mut response) {
+        eprintln!("scrape: read: {e}");
+        std::process::exit(1);
+    }
+
+    let Some((head, body)) = response
+        .split_once("\r\n\r\n")
+        .or_else(|| response.split_once("\n\n"))
+    else {
+        eprintln!("scrape: malformed response: {response:?}");
+        std::process::exit(1);
+    };
+    let status_ok = head
+        .lines()
+        .next()
+        .is_some_and(|line| line.split_whitespace().nth(1) == Some("200"));
+    print!("{body}");
+    if !status_ok {
+        eprintln!("scrape: non-200 status: {:?}", head.lines().next());
+        std::process::exit(1);
+    }
+}

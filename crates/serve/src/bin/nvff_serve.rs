@@ -1,0 +1,40 @@
+//! Standalone metrics service: binds an address, prints it, and serves
+//! `/metrics`, `/healthz` and `/quitquitquit` until told to quit.
+//!
+//! ```text
+//! nvff-serve [addr]        # default 127.0.0.1:9464
+//! ```
+//!
+//! On its own the process has no solver running, so the snapshot only
+//! grows if something else in-process records telemetry — the binary
+//! exists mainly as a scrape target for integration smoke tests and as
+//! the minimal example of embedding `serve::MetricsServer`.
+
+fn main() {
+    let addr = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "127.0.0.1:9464".to_owned());
+    if addr == "--help" || addr == "-h" {
+        eprintln!("usage: nvff-serve [addr]   (default 127.0.0.1:9464)");
+        eprintln!("routes: /metrics /healthz /quitquitquit");
+        return;
+    }
+
+    // Make sure the registry is at least collecting, so counters and
+    // spans recorded by this process show up in scrapes.
+    telemetry::ensure_collecting();
+
+    let server = match serve::MetricsServer::bind(addr.as_str()) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("nvff-serve: cannot bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "nvff-serve: listening on http://{}/metrics",
+        server.local_addr()
+    );
+    server.wait_quit(None);
+    println!("nvff-serve: quit requested, shutting down");
+}

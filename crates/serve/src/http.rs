@@ -1,0 +1,128 @@
+//! Minimal HTTP/1.1 request parsing and response writing over a
+//! `TcpStream` — exactly the slice of the protocol a metrics scrape
+//! needs, hand-rolled so the workspace stays zero-dependency.
+//!
+//! The server speaks one request per connection (`Connection: close`),
+//! which sidesteps keep-alive bookkeeping entirely: Prometheus and
+//! `curl` both handle that fine, and a scrape endpoint has no use for
+//! pipelining. Requests are capped at [`MAX_REQUEST_BYTES`] and reads
+//! are bounded by a socket timeout, so a stuck or hostile client cannot
+//! wedge the accept loop's handler thread.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Upper bound on the request head (request line + headers). A metrics
+/// scrape is a few hundred bytes; 8 KiB matches common server defaults.
+pub const MAX_REQUEST_BYTES: usize = 8 * 1024;
+
+/// Socket read timeout — a client that stops mid-request is cut off.
+pub const READ_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// A parsed request line: method and path (query string stripped).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// HTTP method, uppercased by the client (`GET`, `HEAD`, …).
+    pub method: String,
+    /// Decoded-enough path for routing: `/metrics`, `/healthz`, …
+    /// (percent-decoding is deliberately not performed; the served
+    /// routes are plain ASCII).
+    pub path: String,
+}
+
+/// Reads and parses one request head from `stream`. Returns `None` on
+/// timeouts, malformed request lines, or heads exceeding
+/// [`MAX_REQUEST_BYTES`] — the caller answers with a 4xx or just drops
+/// the connection.
+pub fn read_request(stream: &mut TcpStream) -> Option<Request> {
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    // Read until the blank line ending the header block.
+    while !head_complete(&buf) {
+        if buf.len() >= MAX_REQUEST_BYTES {
+            return None;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return None, // peer closed mid-head
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(_) => return None, // timeout or reset
+        }
+    }
+    parse_request_line(&buf)
+}
+
+fn head_complete(buf: &[u8]) -> bool {
+    buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.windows(2).any(|w| w == b"\n\n")
+}
+
+/// Parses `GET /path HTTP/1.1` out of the head bytes.
+fn parse_request_line(buf: &[u8]) -> Option<Request> {
+    let line_end = buf.iter().position(|&b| b == b'\n')?;
+    let line = std::str::from_utf8(&buf[..line_end]).ok()?.trim_end();
+    let mut parts = line.split_ascii_whitespace();
+    let method = parts.next()?;
+    let target = parts.next()?;
+    let version = parts.next()?;
+    if !version.starts_with("HTTP/") {
+        return None;
+    }
+    // Strip any query string; the routes take no parameters.
+    let path = target.split('?').next().unwrap_or(target);
+    Some(Request {
+        method: method.to_owned(),
+        path: path.to_owned(),
+    })
+}
+
+/// Writes a complete response with `Content-Length` and
+/// `Connection: close`. Errors are swallowed — the peer hanging up
+/// mid-response is its own problem, not the server's.
+pub fn write_response(stream: &mut TcpStream, status: u16, content_type: &str, body: &str) {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Error",
+    };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\n\
+         Content-Type: {content_type}\r\n\
+         Content-Length: {}\r\n\
+         Connection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_line_parses_and_strips_query() {
+        let req = parse_request_line(b"GET /metrics?x=1 HTTP/1.1\r\nHost: a\r\n\r\n")
+            .expect("valid request");
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/metrics");
+    }
+
+    #[test]
+    fn malformed_request_lines_are_rejected() {
+        assert_eq!(parse_request_line(b"\r\n\r\n"), None);
+        assert_eq!(parse_request_line(b"GET\r\n\r\n"), None);
+        assert_eq!(parse_request_line(b"GET /x SMTP/1.0\r\n\r\n"), None);
+        assert_eq!(parse_request_line(b"\xff\xfe\n"), None);
+    }
+
+    #[test]
+    fn head_detection_handles_both_line_endings() {
+        assert!(head_complete(b"GET / HTTP/1.1\r\n\r\n"));
+        assert!(head_complete(b"GET / HTTP/1.1\n\n"));
+        assert!(!head_complete(b"GET / HTTP/1.1\r\nHost: x\r\n"));
+    }
+}

@@ -1,0 +1,32 @@
+//! Zero-dependency `/metrics` service for the spintronic-ff workspace.
+//!
+//! The build is offline, so there is no hyper, no axum, not even a
+//! TLS stack — [`http`] hand-rolls the one-request-per-connection
+//! slice of HTTP/1.1 a Prometheus scrape needs over `std::net`, and
+//! [`metrics`] renders the live [`telemetry`] registry snapshot in the
+//! text exposition format. [`server::MetricsServer`] ties them together
+//! as a background accept thread.
+//!
+//! Two deployment shapes:
+//!
+//! - **sidecar** — bench binaries pass `--serve <addr>` and keep a
+//!   [`MetricsServer`] alive for the duration of the run (see
+//!   `bench::serve_from_args`), so a long characterization sweep can be
+//!   watched live from `curl` or a Prometheus scraper;
+//! - **standalone** — the `nvff-serve` binary binds an address, prints
+//!   it, and serves until `GET /quitquitquit` arrives.
+//!
+//! ```no_run
+//! let server = serve::MetricsServer::bind("127.0.0.1:0").expect("bind");
+//! println!("metrics at http://{}/metrics", server.local_addr());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod http;
+pub mod metrics;
+pub mod server;
+
+pub use metrics::{escape_label_value, render_prometheus, sanitize_metric_name};
+pub use server::MetricsServer;

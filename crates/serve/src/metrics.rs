@@ -1,0 +1,184 @@
+//! Prometheus text exposition (version 0.0.4) rendered from a
+//! [`telemetry::Snapshot`].
+//!
+//! Mapping:
+//!
+//! - counters → `nvff_<name>_total` (monotonic counter);
+//! - histograms → `nvff_<name>_bucket{le="…"}` cumulative ladders from
+//!   [`telemetry::Histogram::cumulative_buckets`], plus `_sum` and
+//!   `_count`, with the mandatory `le="+Inf"` terminal bucket;
+//! - span aggregates → `nvff_span_seconds_sum` / `nvff_span_seconds_count`
+//!   keyed by a `path` label, so Grafana can divide them into mean
+//!   durations per span path;
+//! - registry wall clock → the `nvff_wall_seconds` gauge.
+//!
+//! Dotted telemetry names (`spice.newton_iterations`) become legal
+//! metric names by [`sanitize_metric_name`]; label values pass through
+//! [`escape_label_value`] per the exposition-format escaping rules.
+
+use telemetry::Snapshot;
+
+/// Rewrites an internal telemetry name into the Prometheus metric-name
+/// charset `[a-zA-Z_:][a-zA-Z0-9_:]*`: every illegal byte becomes `_`,
+/// and a leading digit gets a `_` prefix. Never returns an empty or
+/// illegal name.
+#[must_use]
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        let legal =
+            c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+            out.push(c);
+        } else if legal {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Escapes a label value for the text exposition format: backslash,
+/// double-quote and newline must be written as `\\`, `\"` and `\n`.
+#[must_use]
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Formats an `le` bucket edge: Prometheus spells the terminal bucket
+/// `+Inf`, and finite edges use the shortest round-trippable float.
+fn format_le(edge: f64) -> String {
+    if edge.is_infinite() {
+        "+Inf".to_owned()
+    } else {
+        format_float(edge)
+    }
+}
+
+/// Shortest decimal representation that round-trips through `f64` —
+/// Rust's `{}` formatting already guarantees this; the wrapper exists
+/// so exposition and tests agree on one spelling.
+fn format_float(v: f64) -> String {
+    format!("{v}")
+}
+
+/// Renders `snap` as a complete `/metrics` response body.
+#[must_use]
+pub fn render_prometheus(snap: &Snapshot) -> String {
+    let mut out = String::with_capacity(4096);
+
+    out.push_str("# HELP nvff_wall_seconds Seconds since the telemetry registry epoch.\n");
+    out.push_str("# TYPE nvff_wall_seconds gauge\n");
+    out.push_str(&format!(
+        "nvff_wall_seconds {}\n",
+        format_float(snap.wall_s)
+    ));
+
+    for (name, value) in &snap.counters {
+        let metric = format!("nvff_{}_total", sanitize_metric_name(name));
+        out.push_str(&format!("# HELP {metric} Telemetry counter {name}.\n"));
+        out.push_str(&format!("# TYPE {metric} counter\n"));
+        out.push_str(&format!("{metric} {value}\n"));
+    }
+
+    for (name, hist) in &snap.histograms {
+        let metric = format!("nvff_{}", sanitize_metric_name(name));
+        out.push_str(&format!("# HELP {metric} Telemetry histogram {name}.\n"));
+        out.push_str(&format!("# TYPE {metric} histogram\n"));
+        for (edge, cum) in hist.cumulative_buckets() {
+            out.push_str(&format!(
+                "{metric}_bucket{{le=\"{}\"}} {cum}\n",
+                format_le(edge)
+            ));
+        }
+        out.push_str(&format!("{metric}_sum {}\n", format_float(hist.sum())));
+        out.push_str(&format!("{metric}_count {}\n", hist.count()));
+    }
+
+    if !snap.spans.is_empty() {
+        out.push_str("# HELP nvff_span_seconds Wall-clock totals per telemetry span path.\n");
+        out.push_str("# TYPE nvff_span_seconds summary\n");
+        for span in &snap.spans {
+            let path = escape_label_value(&span.path);
+            out.push_str(&format!(
+                "nvff_span_seconds_sum{{path=\"{path}\"}} {}\n",
+                format_float(span.total_s)
+            ));
+            out.push_str(&format!(
+                "nvff_span_seconds_count{{path=\"{path}\"}} {}\n",
+                span.count
+            ));
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metric_names_are_sanitized_into_the_legal_charset() {
+        assert_eq!(
+            sanitize_metric_name("spice.newton_iterations"),
+            "spice_newton_iterations"
+        );
+        assert_eq!(sanitize_metric_name("2fast"), "_2fast");
+        assert_eq!(sanitize_metric_name("a-b c"), "a_b_c");
+        assert_eq!(sanitize_metric_name(""), "_");
+    }
+
+    #[test]
+    fn label_values_escape_the_three_special_characters() {
+        assert_eq!(escape_label_value(r"a\b"), r"a\\b");
+        assert_eq!(escape_label_value("say \"hi\""), "say \\\"hi\\\"");
+        assert_eq!(escape_label_value("two\nlines"), "two\\nlines");
+        assert_eq!(escape_label_value("plain/path"), "plain/path");
+    }
+
+    #[test]
+    fn rendering_produces_ladders_ending_in_inf() {
+        let mut hist = telemetry::Histogram::new();
+        hist.record(1e-9);
+        hist.record(2.5e-3);
+        let snap = Snapshot {
+            wall_s: 1.5,
+            spans: vec![],
+            counters: vec![("spice.newton_iterations".into(), 42)],
+            histograms: vec![("spice.dt_s".into(), hist)],
+        };
+        let text = render_prometheus(&snap);
+        assert!(text.contains("nvff_wall_seconds 1.5\n"), "{text}");
+        assert!(
+            text.contains("nvff_spice_newton_iterations_total 42\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("nvff_spice_dt_s_bucket{le=\"+Inf\"} 2\n"),
+            "{text}"
+        );
+        assert!(text.contains("nvff_spice_dt_s_count 2\n"), "{text}");
+        // Every line is either a comment or `name{labels} value`.
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#') || line.splitn(2, ' ').count() == 2,
+                "malformed line: {line}"
+            );
+        }
+    }
+}

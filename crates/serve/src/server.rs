@@ -1,0 +1,180 @@
+//! The metrics server proper: a `TcpListener` accept loop on its own
+//! thread, answering one request per connection.
+//!
+//! Routes:
+//!
+//! - `GET /metrics` — Prometheus text exposition of a fresh
+//!   [`telemetry::snapshot`];
+//! - `GET /healthz` — `ok\n`, for liveness probes and smoke tests;
+//! - `GET /quitquitquit` — signals [`MetricsServer::wait_quit`], the
+//!   Borg-style remote shutdown knob the CI smoke test uses to end a
+//!   `--serve` run without killing the process;
+//! - anything else — 404 (or 405 for non-GET methods).
+//!
+//! The server is deliberately sequential: one handler at a time, no
+//! thread pool. A scrape takes well under a millisecond, slow clients
+//! are bounded by [`crate::http::READ_TIMEOUT`], and the bench binaries
+//! that host the sidecar have better uses for their cores.
+
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::http::{read_request, write_response};
+use crate::metrics::render_prometheus;
+
+/// State shared between the accept thread and the owning handle.
+struct Shared {
+    /// Set once `/quitquitquit` has been served (or `shutdown` ran).
+    quit: Mutex<bool>,
+    /// Woken when `quit` flips to true.
+    quit_cv: Condvar,
+    /// Tells the accept loop to exit at its next wakeup.
+    stop: AtomicBool,
+}
+
+/// A running metrics service. Dropping the handle shuts the server
+/// down and joins its accept thread.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `127.0.0.1:9464`, or port `0` for an
+    /// OS-assigned port — read it back with [`local_addr`]) and starts
+    /// serving on a background thread.
+    ///
+    /// [`local_addr`]: MetricsServer::local_addr
+    pub fn bind<A: ToSocketAddrs>(addr: A) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            quit: Mutex::new(false),
+            quit_cv: Condvar::new(),
+            stop: AtomicBool::new(false),
+        });
+        let loop_shared = Arc::clone(&shared);
+        let thread = std::thread::Builder::new()
+            .name("nvff-serve".into())
+            .spawn(move || accept_loop(&listener, &loop_shared))
+            .expect("spawn metrics server thread");
+        Ok(Self {
+            addr,
+            shared,
+            thread: Some(thread),
+        })
+    }
+
+    /// The address actually bound — useful with port `0`.
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Blocks until `/quitquitquit` is served or `timeout` elapses.
+    /// Returns `true` if quit was requested, `false` on timeout. Pass
+    /// `None` to wait indefinitely.
+    pub fn wait_quit(&self, timeout: Option<Duration>) -> bool {
+        let guard = self
+            .shared
+            .quit
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        match timeout {
+            None => {
+                let guard = self
+                    .shared
+                    .quit_cv
+                    .wait_while(guard, |quit| !*quit)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                *guard
+            }
+            Some(timeout) => {
+                let (guard, _) = self
+                    .shared
+                    .quit_cv
+                    .wait_timeout_while(guard, timeout, |quit| !*quit)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                *guard
+            }
+        }
+    }
+
+    /// Stops the accept loop and joins the server thread. Idempotent;
+    /// also run by `Drop`.
+    pub fn shutdown(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // The accept loop is likely blocked in accept(); poke it with a
+        // throwaway connection so it observes the stop flag.
+        if let Ok(mut stream) = TcpStream::connect(self.addr) {
+            let _ = stream.write_all(b"GET /healthz HTTP/1.1\r\n\r\n");
+        }
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+        signal_quit(&self.shared);
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn signal_quit(shared: &Shared) {
+    let mut quit = shared
+        .quit
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    *quit = true;
+    shared.quit_cv.notify_all();
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Shared) {
+    for stream in listener.incoming() {
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(mut stream) = stream else { continue };
+        handle(&mut stream, shared);
+    }
+}
+
+fn handle(stream: &mut TcpStream, shared: &Shared) {
+    let Some(req) = read_request(stream) else {
+        write_response(stream, 400, "text/plain; charset=utf-8", "bad request\n");
+        return;
+    };
+    if req.method != "GET" {
+        write_response(
+            stream,
+            405,
+            "text/plain; charset=utf-8",
+            "method not allowed\n",
+        );
+        return;
+    }
+    match req.path.as_str() {
+        "/metrics" => {
+            let body = render_prometheus(&telemetry::snapshot());
+            write_response(
+                stream,
+                200,
+                "text/plain; version=0.0.4; charset=utf-8",
+                &body,
+            );
+        }
+        "/healthz" => write_response(stream, 200, "text/plain; charset=utf-8", "ok\n"),
+        "/quitquitquit" => {
+            write_response(stream, 200, "text/plain; charset=utf-8", "quitting\n");
+            signal_quit(shared);
+        }
+        _ => write_response(stream, 404, "text/plain; charset=utf-8", "not found\n"),
+    }
+}

@@ -1,0 +1,107 @@
+//! Property tests for the Prometheus exposition helpers: label-value
+//! escaping must round-trip, and sanitized metric names must always
+//! land in the legal charset.
+//!
+//! The proptest stub only ships scalar strategies, so strings are grown
+//! from a drawn `u64` seed through a local splitmix generator — same
+//! seed, same data, reproducible from a failure log.
+
+use proptest::prelude::*;
+use serve::{escape_label_value, sanitize_metric_name};
+
+/// Splitmix64: tiny, statistically fine for shaping test data.
+struct Mix(u64);
+
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// A string biased toward the characters that matter: escapes,
+    /// quotes, newlines, separators, plus ordinary ASCII and a few
+    /// multi-byte code points.
+    fn string(&mut self, len: usize) -> String {
+        const POOL: &[char] = &[
+            '\\', '"', '\n', '/', '.', '-', ':', '_', ' ', 'a', 'Z', '7', 'µ', '√',
+        ];
+        (0..len)
+            .map(|_| POOL[(self.next() as usize) % POOL.len()])
+            .collect()
+    }
+}
+
+/// Inverse of `escape_label_value`, used to verify the round trip.
+fn unescape(escaped: &str) -> Option<String> {
+    let mut out = String::with_capacity(escaped.len());
+    let mut chars = escaped.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next()? {
+                '\\' => out.push('\\'),
+                'n' => out.push('\n'),
+                '"' => out.push('"'),
+                _ => return None,
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    Some(out)
+}
+
+proptest! {
+    /// Escaping is invertible — no information is lost, so distinct
+    /// span paths always scrape as distinct label values.
+    #[test]
+    fn escaping_round_trips(seed in any::<u64>(), len in 0usize..64) {
+        let original = Mix(seed).string(len);
+        let escaped = escape_label_value(&original);
+        let unescaped = unescape(&escaped);
+        prop_assert_eq!(unescaped.as_deref(), Some(original.as_str()));
+    }
+
+    /// The escaped text never contains a raw quote or newline, so it
+    /// can be pasted between `"`s in the exposition without splitting
+    /// the line or ending the label early.
+    #[test]
+    fn escaped_text_is_safe_inside_quotes(seed in any::<u64>(), len in 0usize..64) {
+        let escaped = escape_label_value(&Mix(seed).string(len));
+        prop_assert!(!escaped.contains('\n'));
+        // Every quote must be preceded by an odd run of backslashes.
+        let bytes = escaped.as_bytes();
+        for (i, &b) in bytes.iter().enumerate() {
+            if b == b'"' {
+                let backslashes = bytes[..i].iter().rev().take_while(|&&c| c == b'\\').count();
+                prop_assert!(backslashes % 2 == 1, "unescaped quote in {escaped:?}");
+            }
+        }
+    }
+
+    /// Sanitized names always match `[a-zA-Z_:][a-zA-Z0-9_:]*` — the
+    /// Prometheus metric-name grammar — regardless of input.
+    #[test]
+    fn sanitized_names_match_the_metric_grammar(seed in any::<u64>(), len in 0usize..40) {
+        let name = sanitize_metric_name(&Mix(seed).string(len));
+        prop_assert!(!name.is_empty());
+        let mut chars = name.chars();
+        let first = chars.next().expect("nonempty");
+        prop_assert!(first.is_ascii_alphabetic() || first == '_' || first == ':', "{name:?}");
+        for c in chars {
+            prop_assert!(
+                c.is_ascii_alphanumeric() || c == '_' || c == ':',
+                "illegal {c:?} in {name:?}"
+            );
+        }
+    }
+
+    /// Sanitizing is idempotent: a legal name passes through unchanged.
+    #[test]
+    fn sanitizing_is_idempotent(seed in any::<u64>(), len in 0usize..40) {
+        let once = sanitize_metric_name(&Mix(seed).string(len));
+        prop_assert_eq!(sanitize_metric_name(&once), once);
+    }
+}

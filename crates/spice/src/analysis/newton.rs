@@ -87,9 +87,10 @@ pub(super) fn newton(
     let n = plan.n_unknowns;
     let n_nodes = plan.n_nodes;
     let ctx = EvalCtx { t, src_scale };
-    // One atomic load, hoisted so the per-iteration instrumentation
-    // below is branch-on-bool when tracing is off.
+    // One atomic load each, hoisted so the per-iteration
+    // instrumentation below is branch-on-bool when tracing is off.
     let tel = telemetry::enabled();
+    let fl = telemetry::flight::active();
 
     for _iter in 0..max_iter {
         bufs.stats.newton_iterations += 1;
@@ -141,11 +142,25 @@ pub(super) fn newton(
                                     telemetry::histogram("spice.csr_nnz", plan.sparse.nnz() as f64);
                                     telemetry::histogram("spice.lu_nnz", symbolic.lu_nnz() as f64);
                                 }
+                                if fl {
+                                    telemetry::flight::record_always(
+                                        telemetry::flight::EventKind::SymbolicBuild,
+                                        t,
+                                        symbolic.lu_nnz() as f64,
+                                    );
+                                }
                             }
                             SparseSolveOutcome::Repivoted => {
                                 telemetry::counter("spice.repivots", 1);
                                 if tel {
                                     telemetry::histogram("spice.lu_nnz", symbolic.lu_nnz() as f64);
+                                }
+                                if fl {
+                                    telemetry::flight::record_always(
+                                        telemetry::flight::EventKind::Repivot,
+                                        t,
+                                        symbolic.lu_nnz() as f64,
+                                    );
                                 }
                             }
                         }
@@ -155,6 +170,13 @@ pub(super) fn newton(
             }
         };
         if !solved {
+            if fl {
+                telemetry::flight::record_always(
+                    telemetry::flight::EventKind::SingularMatrix,
+                    t,
+                    0.0,
+                );
+            }
             return Err(SpiceError::SingularMatrix { analysis, time: t });
         }
         if let Some(start) = lu_timer {
@@ -177,7 +199,7 @@ pub(super) fn newton(
             if delta.abs() > tol {
                 converged = false;
             }
-            if tel {
+            if tel || fl {
                 max_delta = max_delta.max(delta.abs());
             }
             bufs.x[i] += delta;
@@ -187,9 +209,23 @@ pub(super) fn newton(
             // proxy the convergence test itself works from.
             telemetry::histogram("spice.newton_delta", max_delta);
         }
+        if fl {
+            telemetry::flight::record_always(
+                telemetry::flight::EventKind::NewtonDelta,
+                t,
+                max_delta,
+            );
+        }
         if converged {
             return Ok(());
         }
+    }
+    if fl {
+        telemetry::flight::record_always(
+            telemetry::flight::EventKind::NonConvergence,
+            t,
+            max_iter as f64,
+        );
     }
     Err(SpiceError::NonConvergence {
         analysis,
@@ -227,9 +263,13 @@ fn solve_op_gmin_stepped(
     t: f64,
 ) -> Result<(), SpiceError> {
     bufs.zero_x(plan.n_unknowns);
+    let fl = telemetry::flight::active();
     let gmin_ladder = [1e-2, 1e-4, 1e-6, 1e-8, 1e-10, GMIN_FLOOR];
     for (stage, &gmin) in gmin_ladder.iter().enumerate() {
         telemetry::counter("spice.gmin_rounds", 1);
+        if fl {
+            telemetry::flight::record_always(telemetry::flight::EventKind::GminRung, t, gmin);
+        }
         bufs.save_x();
         match newton(plan, ckt, bufs, "op", t, gmin, None, 400, 1.0) {
             Ok(()) => {}
@@ -268,11 +308,15 @@ pub(super) fn solve_op_source_stepped(
     t: f64,
 ) -> Result<(), SpiceError> {
     bufs.zero_x(plan.n_unknowns);
+    let fl = telemetry::flight::active();
     let mut reached = 0.0_f64;
     let mut target = SOURCE_STEP_START;
     for _round in 0..SOURCE_STEP_MAX_ROUNDS {
         telemetry::counter("spice.source_step_rounds", 1);
         bufs.stats.source_steps += 1;
+        if fl {
+            telemetry::flight::record_always(telemetry::flight::EventKind::SourceRung, t, target);
+        }
         bufs.save_x();
         match newton(plan, ckt, bufs, "op", t, GMIN_FLOOR, None, 400, target) {
             Ok(()) => {

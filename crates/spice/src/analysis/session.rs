@@ -310,6 +310,9 @@ pub struct SimulationSession {
     ckt: Circuit,
     plan: StampPlan,
     ws: Workspace,
+    /// Human-readable circuit label carried into flight-recorder
+    /// post-mortem dumps (e.g. `proposed_2bit`).
+    label: String,
 }
 
 impl SimulationSession {
@@ -328,7 +331,31 @@ impl SimulationSession {
     pub fn with_solver(ckt: Circuit, solver: SolverKind) -> Self {
         let plan = StampPlan::build(&ckt);
         let ws = Workspace::for_plan(&plan, solver);
-        Self { ckt, plan, ws }
+        Self {
+            ckt,
+            plan,
+            ws,
+            label: "circuit".to_owned(),
+        }
+    }
+
+    /// Sets the circuit label carried into post-mortem dumps (builder
+    /// style).
+    #[must_use]
+    pub fn with_label(mut self, label: &str) -> Self {
+        self.set_label(label);
+        self
+    }
+
+    /// Sets the circuit label carried into post-mortem dumps.
+    pub fn set_label(&mut self, label: &str) {
+        self.label = label.to_owned();
+    }
+
+    /// The session's circuit label.
+    #[must_use]
+    pub fn label(&self) -> &str {
+        &self.label
     }
 
     /// The LU engine this session's solves run on.
@@ -379,6 +406,53 @@ impl SimulationSession {
         }
     }
 
+    /// The session-level failure seam: when a solver error *surfaces*
+    /// to the caller (as opposed to a recovered gmin/source-stepping
+    /// rung, which also fails Newton internally), dump the flight
+    /// recorder as a JSON post-mortem. No-op unless a post-mortem
+    /// directory is configured (`NVFF_POSTMORTEM` or
+    /// `telemetry::flight::set_postmortem_dir`).
+    fn postmortem_on_failure<T>(
+        &self,
+        analysis: &'static str,
+        result: Result<T, SpiceError>,
+    ) -> Result<T, SpiceError> {
+        if let Err(e) = &result {
+            let time_s = match e {
+                SpiceError::NonConvergence { time, .. }
+                | SpiceError::SingularMatrix { time, .. } => *time,
+                _ => return result,
+            };
+            let s = self.ws.stats;
+            let stats = [
+                ("newton_iterations", s.newton_iterations),
+                ("lu_factorizations", s.lu_factorizations),
+                ("accepted_steps", s.accepted_steps),
+                ("rejected_steps", s.rejected_steps),
+                ("step_halvings", s.step_halvings),
+                ("pattern_reuses", s.pattern_reuses),
+                ("lte_rejections", s.lte_rejections),
+                ("source_steps", s.source_steps),
+            ];
+            let pm = telemetry::flight::Postmortem {
+                circuit: &self.label,
+                analysis,
+                error: &e.to_string(),
+                time_s,
+                stats: &stats,
+            };
+            if let Some(path) = telemetry::flight::dump(&pm) {
+                telemetry::counter("spice.postmortems", 1);
+                eprintln!(
+                    "spice: {analysis} failed on {:?}; post-mortem written to {}",
+                    self.label,
+                    path.display()
+                );
+            }
+        }
+        result
+    }
+
     /// Solves the DC operating point (see [`op`](super::op)).
     ///
     /// # Errors
@@ -386,7 +460,8 @@ impl SimulationSession {
     /// Same conditions as [`op`](super::op).
     pub fn op(&mut self) -> Result<OpResult, SpiceError> {
         self.refresh();
-        newton::op_core(&self.plan, &self.ckt, &mut self.ws)
+        let result = newton::op_core(&self.plan, &self.ckt, &mut self.ws);
+        self.postmortem_on_failure("op", result)
     }
 
     /// Sweeps the DC value of the named voltage source (see
@@ -397,7 +472,8 @@ impl SimulationSession {
     /// Same conditions as [`dc_sweep`](super::dc_sweep).
     pub fn dc_sweep(&mut self, source: &str, values: &[f64]) -> Result<Vec<OpResult>, SpiceError> {
         self.refresh();
-        newton::run_dc_sweep(&self.plan, &mut self.ckt, &mut self.ws, source, values)
+        let result = newton::run_dc_sweep(&self.plan, &mut self.ckt, &mut self.ws, source, values);
+        self.postmortem_on_failure("dc", result)
     }
 
     /// Runs a transient analysis with default options (see
@@ -423,6 +499,7 @@ impl SimulationSession {
         options: TransientOptions,
     ) -> Result<TransientResult, SpiceError> {
         self.refresh();
-        transient::run(&self.plan, &mut self.ckt, &mut self.ws, stop, step, options)
+        let result = transient::run(&self.plan, &mut self.ckt, &mut self.ws, stop, step, options);
+        self.postmortem_on_failure("tran", result)
     }
 }

@@ -184,8 +184,9 @@ pub(super) fn run(
     options: TransientOptions,
 ) -> Result<TransientResult, SpiceError> {
     let _span = telemetry::span("spice.transient");
-    // Hoisted enabled check for the per-step histograms below.
+    // Hoisted enabled checks for the per-step instrumentation below.
     let tel = telemetry::enabled();
+    let fl = telemetry::flight::active();
     let stop_s = stop.seconds();
     let dt_nominal = step.seconds();
     if stop_s <= 0.0 || dt_nominal <= 0.0 || stop_s.is_nan() || dt_nominal.is_nan() {
@@ -317,6 +318,13 @@ pub(super) fn run(
                                 // terminates).
                                 bufs.stats.rejected_steps += 1;
                                 bufs.stats.lte_rejections += 1;
+                                if fl {
+                                    telemetry::flight::record_always(
+                                        telemetry::flight::EventKind::LteReject,
+                                        t + dt,
+                                        ratio,
+                                    );
+                                }
                                 bufs.restore_x();
                                 dt = (dt * shrink_factor(ratio, options.integrator)).max(lte_floor);
                                 continue;
@@ -337,6 +345,13 @@ pub(super) fn run(
                         return Err(e);
                     }
                     bufs.stats.step_halvings += 1;
+                    if fl {
+                        telemetry::flight::record_always(
+                            telemetry::flight::EventKind::StepHalve,
+                            t + dt,
+                            dt,
+                        );
+                    }
                     bufs.restore_x();
                     dt *= 0.5;
                 }
@@ -355,6 +370,9 @@ pub(super) fn run(
         };
         if tel {
             telemetry::histogram("spice.dt_s", dt_used);
+        }
+        if fl {
+            telemetry::flight::record_always(telemetry::flight::EventKind::StepAccept, t, dt_used);
         }
 
         if adaptive {

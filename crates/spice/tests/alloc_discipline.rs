@@ -113,21 +113,29 @@ fn warmed_up_session_does_not_allocate_per_iteration_or_per_step() {
         "this test must run with tracing disabled (unset NVFF_TRACE)"
     );
 
-    // Telemetry disabled path: spans, counters, histograms and
-    // stopwatches must be pure no-ops on the heap — the observability
-    // layer is compiled into the solver hot loop unconditionally, so a
-    // single stray allocation here would tax every Newton iteration.
+    // Telemetry disabled path: spans, counters, histograms,
+    // stopwatches and flight-recorder hooks must be pure no-ops on the
+    // heap — the observability layer is compiled into the solver hot
+    // loop unconditionally, so a single stray allocation here would tax
+    // every Newton iteration. The first flight::active() call reads
+    // NVFF_POSTMORTEM (std::env::var allocates), so warm it up first
+    // like telemetry::enabled() above.
+    assert!(
+        !telemetry::flight::active(),
+        "this test must run without a post-mortem directory (unset NVFF_POSTMORTEM)"
+    );
     let telemetry_allocs = count_allocs(|| {
         for _ in 0..1000 {
             let _span = telemetry::span("alloc_test.span");
             telemetry::counter("alloc_test.counter", 1);
             telemetry::histogram("alloc_test.hist", 1e-12);
             let _watch = telemetry::stopwatch("alloc_test.watch");
+            telemetry::flight::record(telemetry::flight::EventKind::NewtonDelta, 1e-9, 1e-6);
         }
     });
     assert_eq!(
         telemetry_allocs, 0,
-        "disabled telemetry hot path allocated {telemetry_allocs} times in 4000 calls"
+        "disabled telemetry hot path allocated {telemetry_allocs} times in 5000 calls"
     );
 
     // Operating point: the gmin ladder performs dozens of Newton

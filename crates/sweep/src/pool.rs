@@ -30,9 +30,10 @@ pub struct SweepOptions {
     /// (about eight chunks per worker) that balances scheduling
     /// overhead against tail latency.
     pub chunk: usize,
-    /// Telemetry span label wrapped around every job. Workers are fresh
-    /// threads, so under a parallel run each job aggregates as its own
-    /// root span; under `jobs = 1` it nests beneath the caller's spans.
+    /// Telemetry span label wrapped around every job. Under a parallel
+    /// run each worker opens a `worker/<k>` root span for its lifetime,
+    /// so jobs aggregate per worker (`worker/<k>/<label>`); under
+    /// `jobs = 1` the label nests beneath the caller's spans.
     pub span_label: &'static str,
 }
 
@@ -284,6 +285,16 @@ where
                 let pending = &pending;
                 let span_label = opts.span_label;
                 handles.push(scope.spawn(move || {
+                    // Give every worker its own span-path root
+                    // (`worker/<k>/<job>/…`) and chrome-trace track
+                    // label — without it, all workers' jobs collapse
+                    // into one indistinguishable root row in
+                    // render_summary and the trace viewer.
+                    let tel = telemetry::enabled();
+                    let _worker_span = tel.then(|| {
+                        telemetry::set_thread_label(telemetry::worker_label(worker));
+                        telemetry::span(telemetry::worker_label(worker))
+                    });
                     let mut state = make_state(worker);
                     loop {
                         let claim = cursor.fetch_add(chunk, Ordering::Relaxed);

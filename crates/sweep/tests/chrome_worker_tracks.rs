@@ -1,0 +1,100 @@
+//! A `--jobs 4` sweep traced in chrome mode must produce a valid Trace
+//! Event JSON document with four labeled worker tracks, and the span
+//! aggregates must keep the workers apart under `worker/<k>` roots.
+//!
+//! Single test function: the telemetry registry is process-global.
+
+use std::collections::BTreeSet;
+
+use sweep::{Grid, SweepOptions};
+use telemetry::JsonValue;
+
+#[test]
+fn four_workers_get_four_labeled_tracks() {
+    let path = std::env::temp_dir().join(format!("nvff-sweep-trace-{}.json", std::process::id()));
+    telemetry::reset_for_tests();
+    telemetry::init(telemetry::TraceMode::Chrome(path.clone()));
+
+    // chunk = 1 and a small sleep force all four workers to claim work.
+    let grid = Grid::with_seed((0..16u64).collect(), 7);
+    let opts = SweepOptions {
+        jobs: 4,
+        chunk: 1,
+        span_label: "trace.job",
+    };
+    let out = sweep::run(&grid, &opts, |ctx, &p| {
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        p + ctx.seed
+    });
+    assert_eq!(out.summary.workers, 4);
+
+    // Worker roots keep the spans apart in the aggregate view.
+    let snap = telemetry::finish();
+    let worker_roots: BTreeSet<&str> = snap
+        .spans
+        .iter()
+        .filter(|s| s.path.starts_with("worker/"))
+        .filter_map(|s| s.path.split('/').nth(1))
+        .collect();
+    assert_eq!(
+        worker_roots,
+        BTreeSet::from(["0", "1", "2", "3"]),
+        "spans: {:?}",
+        snap.spans.iter().map(|s| &s.path).collect::<Vec<_>>()
+    );
+    assert!(
+        snap.spans
+            .iter()
+            .any(|s| s.path.starts_with("worker/") && s.path.ends_with("/trace.job")),
+        "job spans must nest under their worker root"
+    );
+
+    telemetry::init(telemetry::TraceMode::Off);
+
+    // The trace file is one valid JSON document with 4 labeled tracks.
+    let text = std::fs::read_to_string(&path).expect("trace file");
+    let doc = JsonValue::parse(&text).expect("valid Trace Event JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(JsonValue::as_array)
+        .expect("traceEvents array");
+    let labels: BTreeSet<String> = events
+        .iter()
+        .filter(|e| e.get("name").and_then(JsonValue::as_str) == Some("thread_name"))
+        .filter_map(|e| {
+            e.get("args")
+                .and_then(|a| a.get("name"))
+                .and_then(JsonValue::as_str)
+                .map(str::to_owned)
+        })
+        .filter(|l| l.starts_with("worker/"))
+        .collect();
+    assert_eq!(
+        labels,
+        BTreeSet::from([
+            "worker/0".to_owned(),
+            "worker/1".to_owned(),
+            "worker/2".to_owned(),
+            "worker/3".to_owned(),
+        ])
+    );
+
+    // Each labeled track carries at least one complete event.
+    let label_tids: BTreeSet<i64> = events
+        .iter()
+        .filter(|e| e.get("name").and_then(JsonValue::as_str) == Some("thread_name"))
+        .filter_map(|e| e.get("tid").and_then(JsonValue::as_i64))
+        .collect();
+    for tid in &label_tids {
+        assert!(
+            events.iter().any(|e| {
+                e.get("ph").and_then(JsonValue::as_str) == Some("X")
+                    && e.get("tid").and_then(JsonValue::as_i64) == Some(*tid)
+            }),
+            "no X events on labeled tid {tid}"
+        );
+    }
+
+    let _ = std::fs::remove_file(&path);
+    telemetry::reset_for_tests();
+}

@@ -147,6 +147,29 @@ impl Histogram {
         self.max()
     }
 
+    /// Cumulative bucket view in Prometheus `le` convention: one
+    /// `(upper_edge, cumulative_count)` pair per bucket, edges strictly
+    /// increasing, last pair always `(+∞, count)`. The underflow
+    /// bucket's upper edge is the lowest regular edge (10⁻¹⁵); the
+    /// overflow bucket is the `+∞` entry.
+    #[must_use]
+    pub fn cumulative_buckets(&self) -> Vec<(f64, u64)> {
+        let mut out = Vec::with_capacity(BUCKETS);
+        let mut cum = 0u64;
+        for (k, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            let upper = if k == BUCKETS - 1 {
+                f64::INFINITY
+            } else {
+                // The last regular bucket's upper edge is the overflow
+                // threshold, one step past what bucket_lower covers.
+                Self::bucket_lower(k + 1).unwrap_or_else(|| 10f64.powf(DECADE_HI))
+            };
+            out.push((upper, cum));
+        }
+        out
+    }
+
     /// Folds another histogram into this one (same fixed layout, so the
     /// merge is bucket-wise).
     pub fn merge(&mut self, other: &Histogram) {

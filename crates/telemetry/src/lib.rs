@@ -18,7 +18,16 @@
 //! - `NVFF_TRACE=summary` prints a human-readable aggregate table to
 //!   stderr when the program calls [`finish`];
 //! - `NVFF_TRACE=jsonl:<path>` streams one JSON event per closed span
-//!   to `<path>` (plus counter/histogram/run records at [`finish`]).
+//!   to `<path>` (plus counter/histogram/run records at [`finish`]);
+//! - `NVFF_TRACE=chrome:<path>` writes a Chrome Trace Event Format
+//!   document — per-thread span tracks, finalized at [`finish`] — that
+//!   opens directly in Perfetto or `chrome://tracing`.
+//!
+//! Independently of tracing, [`flight`] keeps a lock-free ring of the
+//! most recent solver events (Newton deltas, recovery-ladder rungs,
+//! LTE rejections) and dumps a JSON post-mortem when an analysis fails,
+//! if `NVFF_POSTMORTEM=<dir>` (or [`flight::set_postmortem_dir`]) is
+//! configured.
 //!
 //! Everything is hand-rolled on `std` alone — the build is offline, so
 //! serde/tracing are not available; [`json`] is the crate's own writer
@@ -50,6 +59,7 @@
 //! assert!(snap.spans.iter().any(|s| s.path == "demo/phase"));
 //! ```
 
+pub mod flight;
 pub mod hist;
 pub mod json;
 mod registry;
@@ -60,10 +70,10 @@ pub use hist::Histogram;
 pub use json::{JsonError, JsonValue};
 pub use registry::{
     counter, enabled, ensure_collecting, finish, histogram, init, init_from_env, render_summary,
-    reset_for_tests, snapshot, Snapshot, SpanStat, TraceMode,
+    reset_for_tests, set_thread_label, snapshot, worker_label, Snapshot, SpanStat, TraceMode,
 };
 pub use report::{Metric, RunReport, Section};
-pub use span::{span, stopwatch, Span, Stopwatch};
+pub use span::{current_path, span, stopwatch, Span, Stopwatch};
 
 #[cfg(test)]
 mod tests {

@@ -8,9 +8,10 @@
 //!
 //! When enabled, everything funnels into one mutex-guarded [`Inner`]:
 //! span aggregates keyed by slash-joined path, named counters, named
-//! histograms, and an optional JSONL writer that streams one event per
-//! closed span. Contention is irrelevant at the rates involved (one
-//! lock per *analysis*-scale event, not per Newton iteration).
+//! histograms, thread labels, and an optional streaming sink — JSONL
+//! (one event per line) or a Chrome Trace Event Format document.
+//! Contention is irrelevant at the rates involved (one lock per
+//! *analysis*-scale event, not per Newton iteration).
 
 use std::collections::BTreeMap;
 use std::fs::File;
@@ -38,12 +39,19 @@ pub enum TraceMode {
     /// Aggregate, and stream one JSON event per closed span to the file
     /// (plus counter/histogram/run events on [`finish`]).
     Jsonl(PathBuf),
+    /// Aggregate, and write a Chrome Trace Event Format document to the
+    /// file: one complete (`"ph":"X"`) event per closed span on its
+    /// thread's track, thread-name metadata and counter samples at
+    /// [`finish`]. The file opens directly in Perfetto /
+    /// `chrome://tracing`.
+    Chrome(PathBuf),
 }
 
 impl TraceMode {
     /// Parses the `NVFF_TRACE` environment variable:
-    /// `summary`, `jsonl:<path>`, `collect`, and `off`/`0`/unset.
-    /// Unrecognized values disable tracing with a warning on stderr.
+    /// `summary`, `jsonl:<path>`, `chrome:<path>`, `collect`, and
+    /// `off`/`0`/unset. Unrecognized values disable tracing with a
+    /// warning on stderr.
     #[must_use]
     pub fn from_env() -> Self {
         match std::env::var("NVFF_TRACE") {
@@ -58,10 +66,13 @@ impl TraceMode {
                     TraceMode::Collect
                 } else if let Some(path) = v.strip_prefix("jsonl:") {
                     TraceMode::Jsonl(PathBuf::from(path))
+                } else if let Some(path) = v.strip_prefix("chrome:") {
+                    TraceMode::Chrome(PathBuf::from(path))
                 } else {
                     eprintln!(
                         "telemetry: unrecognized NVFF_TRACE value {v:?} \
-                         (expected off | collect | summary | jsonl:<path>); tracing disabled"
+                         (expected off | collect | summary | jsonl:<path> | chrome:<path>); \
+                         tracing disabled"
                     );
                     TraceMode::Off
                 }
@@ -82,13 +93,76 @@ pub(crate) struct Registry {
     inner: Mutex<Inner>,
 }
 
+/// Active streaming output, if any.
+#[derive(Default)]
+enum Sink {
+    #[default]
+    None,
+    /// One JSON object per line.
+    Jsonl(BufWriter<File>),
+    /// One Chrome Trace Event Format document (`{"traceEvents":[…]}`),
+    /// finalized (array and object closed) by [`finish`] or when a new
+    /// mode is installed.
+    Chrome(ChromeSink),
+}
+
+struct ChromeSink {
+    w: BufWriter<File>,
+    /// Events written so far — the first event omits the separator.
+    events: u64,
+}
+
+impl ChromeSink {
+    fn open(path: &PathBuf) -> Option<ChromeSink> {
+        match File::create(path) {
+            Ok(f) => {
+                let mut w = BufWriter::new(f);
+                if w.write_all(b"{\"traceEvents\":[\n").is_err() {
+                    eprintln!(
+                        "telemetry: cannot write chrome trace header to {}; trace disabled",
+                        path.display()
+                    );
+                    return None;
+                }
+                Some(ChromeSink { w, events: 0 })
+            }
+            Err(e) => {
+                eprintln!(
+                    "telemetry: cannot open {} for chrome trace output ({e}); \
+                     falling back to in-memory collection",
+                    path.display()
+                );
+                None
+            }
+        }
+    }
+
+    fn write_event(&mut self, event: &JsonValue) -> std::io::Result<()> {
+        if self.events > 0 {
+            self.w.write_all(b",\n")?;
+        }
+        self.w.write_all(event.to_json().as_bytes())?;
+        self.events += 1;
+        Ok(())
+    }
+
+    /// Closes the trace document so the file on disk is complete JSON.
+    fn close(mut self) {
+        let _ = self.w.write_all(b"\n]}\n");
+        let _ = self.w.flush();
+    }
+}
+
 #[derive(Default)]
 struct Inner {
     mode: TraceMode,
-    writer: Option<BufWriter<File>>,
+    sink: Sink,
     spans: BTreeMap<String, SpanAgg>,
     counters: BTreeMap<&'static str, u64>,
     histograms: BTreeMap<&'static str, Histogram>,
+    /// Human names for telemetry thread ids (chrome `thread_name`
+    /// metadata; sweep workers register as `worker/<k>`).
+    thread_labels: BTreeMap<u64, String>,
 }
 
 #[derive(Debug, Clone, Copy, Default)]
@@ -112,29 +186,35 @@ impl Registry {
     }
 }
 
-/// Installs a trace mode, replacing any previous one (the previous
-/// JSONL writer, if any, is flushed first). Aggregated data is kept —
-/// switching from [`TraceMode::Collect`] to [`TraceMode::Summary`]
-/// mid-run keeps earlier observations.
+/// Installs a trace mode, replacing any previous one (a previous JSONL
+/// writer is flushed, a previous chrome trace is finalized so the file
+/// is complete JSON). Aggregated data is kept — switching from
+/// [`TraceMode::Collect`] to [`TraceMode::Summary`] mid-run keeps
+/// earlier observations.
 pub fn init(mode: TraceMode) {
     let registry = Registry::global();
     let mut inner = registry.lock();
-    if let Some(w) = inner.writer.as_mut() {
-        let _ = w.flush();
+    match std::mem::take(&mut inner.sink) {
+        Sink::Jsonl(mut w) => {
+            let _ = w.flush();
+        }
+        Sink::Chrome(c) => c.close(),
+        Sink::None => {}
     }
-    inner.writer = match &mode {
+    inner.sink = match &mode {
         TraceMode::Jsonl(path) => match File::create(path) {
-            Ok(f) => Some(BufWriter::new(f)),
+            Ok(f) => Sink::Jsonl(BufWriter::new(f)),
             Err(e) => {
                 eprintln!(
                     "telemetry: cannot open {} for JSONL output ({e}); \
                      falling back to in-memory collection",
                     path.display()
                 );
-                None
+                Sink::None
             }
         },
-        _ => None,
+        TraceMode::Chrome(path) => ChromeSink::open(path).map_or(Sink::None, Sink::Chrome),
+        _ => Sink::None,
     };
     let enabled = mode != TraceMode::Off;
     inner.mode = mode;
@@ -208,6 +288,38 @@ std::thread_local! {
     static THREAD_ID: u64 = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
 }
 
+/// The calling thread's telemetry thread id (lazily assigned, dense
+/// from 1). Shared by JSONL span events, chrome trace `tid`s and the
+/// flight recorder, so the three streams correlate.
+pub(crate) fn current_thread_id() -> u64 {
+    THREAD_ID.with(|t| *t)
+}
+
+/// Labels the calling thread in trace output — chrome traces name the
+/// thread's track, `thread_name` metadata is emitted at [`finish`].
+/// No-op (one atomic load) when tracing is disabled.
+pub fn set_thread_label(label: &str) {
+    if !enabled() {
+        return;
+    }
+    let tid = current_thread_id();
+    let mut inner = Registry::global().lock();
+    inner.thread_labels.insert(tid, label.to_owned());
+}
+
+/// A leaked, cached `worker/<k>` label for sweep worker `k` — span
+/// names must be `&'static str`, and worker counts are small and
+/// bounded, so interning the handful of labels once is cheaper and
+/// simpler than threading owned strings through the span API.
+#[must_use]
+pub fn worker_label(k: usize) -> &'static str {
+    static LABELS: Mutex<BTreeMap<usize, &'static str>> = Mutex::new(BTreeMap::new());
+    let mut labels = LABELS.lock().unwrap_or_else(PoisonError::into_inner);
+    labels
+        .entry(k)
+        .or_insert_with(|| Box::leak(format!("worker/{k}").into_boxed_str()))
+}
+
 /// Records a closed span: aggregates under `path` and, in JSONL mode,
 /// streams one event line.
 pub(crate) fn record_span(
@@ -230,37 +342,70 @@ pub(crate) fn record_span(
     agg.total_s += dur_s;
     agg.min_s = agg.min_s.min(dur_s);
     agg.max_s = agg.max_s.max(dur_s);
-    if inner.writer.is_some() {
-        let event = JsonValue::object(vec![
-            ("type".into(), JsonValue::Str("span".into())),
-            ("name".into(), JsonValue::Str(name.into())),
-            ("path".into(), JsonValue::Str(path.to_owned())),
-            ("id".into(), JsonValue::Int(i64::try_from(id).unwrap_or(0))),
-            (
-                "parent".into(),
-                parent.map_or(JsonValue::Null, |p| {
-                    JsonValue::Int(i64::try_from(p).unwrap_or(0))
-                }),
-            ),
-            (
-                "thread".into(),
-                JsonValue::Int(i64::try_from(THREAD_ID.with(|t| *t)).unwrap_or(0)),
-            ),
-            ("t_start_s".into(), JsonValue::Float(t_start_s)),
-            ("dur_s".into(), JsonValue::Float(dur_s)),
-        ]);
-        write_event(&mut inner, &event);
+    match &inner.sink {
+        Sink::Jsonl(_) => {
+            let event = JsonValue::object(vec![
+                ("type".into(), JsonValue::Str("span".into())),
+                ("name".into(), JsonValue::Str(name.into())),
+                ("path".into(), JsonValue::Str(path.to_owned())),
+                ("id".into(), JsonValue::Int(i64::try_from(id).unwrap_or(0))),
+                (
+                    "parent".into(),
+                    parent.map_or(JsonValue::Null, |p| {
+                        JsonValue::Int(i64::try_from(p).unwrap_or(0))
+                    }),
+                ),
+                (
+                    "thread".into(),
+                    JsonValue::Int(i64::try_from(current_thread_id()).unwrap_or(0)),
+                ),
+                ("t_start_s".into(), JsonValue::Float(t_start_s)),
+                ("dur_s".into(), JsonValue::Float(dur_s)),
+            ]);
+            write_event(&mut inner, &event);
+        }
+        Sink::Chrome(_) => {
+            let event = chrome_complete_event(name, path, t_start_s, dur_s);
+            write_event(&mut inner, &event);
+        }
+        Sink::None => {}
     }
 }
 
+/// A Chrome Trace Event Format complete event (`"ph":"X"`, times in
+/// microseconds since the registry epoch) for one closed span.
+fn chrome_complete_event(name: &'static str, path: &str, t_start_s: f64, dur_s: f64) -> JsonValue {
+    JsonValue::object(vec![
+        ("name".into(), JsonValue::Str(name.into())),
+        ("cat".into(), JsonValue::Str("nvff".into())),
+        ("ph".into(), JsonValue::Str("X".into())),
+        ("ts".into(), JsonValue::Float(t_start_s * 1e6)),
+        ("dur".into(), JsonValue::Float(dur_s * 1e6)),
+        ("pid".into(), JsonValue::Int(i64::from(std::process::id()))),
+        (
+            "tid".into(),
+            JsonValue::Int(i64::try_from(current_thread_id()).unwrap_or(0)),
+        ),
+        (
+            "args".into(),
+            JsonValue::object(vec![("path".into(), JsonValue::Str(path.to_owned()))]),
+        ),
+    ])
+}
+
 fn write_event(inner: &mut Inner, event: &JsonValue) {
-    if let Some(w) = inner.writer.as_mut() {
-        let mut line = event.to_json();
-        line.push('\n');
-        if w.write_all(line.as_bytes()).is_err() {
-            inner.writer = None;
-            eprintln!("telemetry: JSONL write failed; disabling the stream");
+    let failed = match &mut inner.sink {
+        Sink::Jsonl(w) => {
+            let mut line = event.to_json();
+            line.push('\n');
+            w.write_all(line.as_bytes()).is_err()
         }
+        Sink::Chrome(c) => c.write_event(event).is_err(),
+        Sink::None => false,
+    };
+    if failed {
+        inner.sink = Sink::None;
+        eprintln!("telemetry: trace write failed; disabling the stream");
     }
 }
 
@@ -349,36 +494,91 @@ pub fn finish() -> Snapshot {
     let snap = snapshot();
     let registry = Registry::global();
     let mut inner = registry.lock();
-    if inner.writer.is_some() {
-        for (name, value) in &snap.counters {
+    match &inner.sink {
+        Sink::Jsonl(_) => {
+            for (name, value) in &snap.counters {
+                let event = JsonValue::object(vec![
+                    ("type".into(), JsonValue::Str("counter".into())),
+                    ("name".into(), JsonValue::Str(name.clone())),
+                    (
+                        "value".into(),
+                        JsonValue::Int(i64::try_from(*value).unwrap_or(i64::MAX)),
+                    ),
+                ]);
+                write_event(&mut inner, &event);
+            }
+            for (name, hist) in &snap.histograms {
+                let mut fields = vec![
+                    ("type".into(), JsonValue::Str("histogram".into())),
+                    ("name".into(), JsonValue::Str(name.clone())),
+                ];
+                if let JsonValue::Object(h) = hist.to_json() {
+                    fields.extend(h);
+                }
+                write_event(&mut inner, &JsonValue::Object(fields));
+            }
             let event = JsonValue::object(vec![
-                ("type".into(), JsonValue::Str("counter".into())),
-                ("name".into(), JsonValue::Str(name.clone())),
-                (
-                    "value".into(),
-                    JsonValue::Int(i64::try_from(*value).unwrap_or(i64::MAX)),
-                ),
+                ("type".into(), JsonValue::Str("run".into())),
+                ("wall_s".into(), JsonValue::Float(snap.wall_s)),
             ]);
             write_event(&mut inner, &event);
-        }
-        for (name, hist) in &snap.histograms {
-            let mut fields = vec![
-                ("type".into(), JsonValue::Str("histogram".into())),
-                ("name".into(), JsonValue::Str(name.clone())),
-            ];
-            if let JsonValue::Object(h) = hist.to_json() {
-                fields.extend(h);
+            if let Sink::Jsonl(w) = &mut inner.sink {
+                let _ = w.flush();
             }
-            write_event(&mut inner, &JsonValue::Object(fields));
         }
-        let event = JsonValue::object(vec![
-            ("type".into(), JsonValue::Str("run".into())),
-            ("wall_s".into(), JsonValue::Float(snap.wall_s)),
-        ]);
-        write_event(&mut inner, &event);
-        if let Some(w) = inner.writer.as_mut() {
-            let _ = w.flush();
+        Sink::Chrome(_) => {
+            let pid = i64::from(std::process::id());
+            // Name the process and every labeled thread, then sample
+            // each counter once so Perfetto shows the totals, then
+            // close the document — a chrome trace must be complete
+            // JSON, so the sink retires at the first finish().
+            let mut metadata = vec![JsonValue::object(vec![
+                ("name".into(), JsonValue::Str("process_name".into())),
+                ("ph".into(), JsonValue::Str("M".into())),
+                ("pid".into(), JsonValue::Int(pid)),
+                (
+                    "args".into(),
+                    JsonValue::object(vec![("name".into(), JsonValue::Str("nvff".into()))]),
+                ),
+            ])];
+            for (&tid, label) in &inner.thread_labels {
+                metadata.push(JsonValue::object(vec![
+                    ("name".into(), JsonValue::Str("thread_name".into())),
+                    ("ph".into(), JsonValue::Str("M".into())),
+                    ("pid".into(), JsonValue::Int(pid)),
+                    (
+                        "tid".into(),
+                        JsonValue::Int(i64::try_from(tid).unwrap_or(0)),
+                    ),
+                    (
+                        "args".into(),
+                        JsonValue::object(vec![("name".into(), JsonValue::Str(label.clone()))]),
+                    ),
+                ]));
+            }
+            for (name, value) in &snap.counters {
+                metadata.push(JsonValue::object(vec![
+                    ("name".into(), JsonValue::Str(name.clone())),
+                    ("ph".into(), JsonValue::Str("C".into())),
+                    ("ts".into(), JsonValue::Float(snap.wall_s * 1e6)),
+                    ("pid".into(), JsonValue::Int(pid)),
+                    (
+                        "args".into(),
+                        JsonValue::object(vec![(
+                            "value".into(),
+                            JsonValue::Int(i64::try_from(*value).unwrap_or(i64::MAX)),
+                        )]),
+                    ),
+                ]));
+            }
+            for event in &metadata {
+                write_event(&mut inner, event);
+            }
+            if let Sink::Chrome(c) = std::mem::take(&mut inner.sink) {
+                c.close();
+            }
         }
+        Sink::None => {}
     }
     let is_summary = inner.mode == TraceMode::Summary;
     drop(inner);

@@ -184,15 +184,22 @@ impl RunReport {
     }
 
     /// Writes the report (pretty-printed lightly: one top-level object,
-    /// newline-terminated) to `path`.
+    /// newline-terminated) to `path`, via a temp file in the same
+    /// directory plus an atomic rename — an interrupted run leaves the
+    /// previous report intact instead of a truncated document.
     ///
     /// # Errors
-    /// Propagates file-system errors from creating or writing the file.
+    /// Propagates file-system errors from creating, writing or renaming
+    /// the file.
     pub fn write(&self, path: &Path, snap: &Snapshot) -> std::io::Result<()> {
         let mut doc = self.to_json(snap).to_json();
         doc.push('\n');
-        let mut file = std::fs::File::create(path)?;
-        file.write_all(doc.as_bytes())
+        let tmp = path.with_extension("tmp");
+        {
+            let mut file = std::fs::File::create(&tmp)?;
+            file.write_all(doc.as_bytes())?;
+        }
+        std::fs::rename(&tmp, path)
     }
 }
 

@@ -98,6 +98,15 @@ pub fn span(name: &'static str) -> Span {
     Span::enter(name)
 }
 
+/// The slash-joined path of the innermost open span on this thread
+/// (`None` outside any span, or when tracing is disabled — inert spans
+/// never push a frame). Post-mortem dumps use this to record *where*
+/// in the run a solver failure surfaced.
+#[must_use]
+pub fn current_path() -> Option<String> {
+    STACK.with(|stack| stack.borrow().last().map(|f| f.path.clone()))
+}
+
 /// A timer that records its elapsed seconds into a named histogram on
 /// drop. Unlike a span it has no identity or nesting — use it for
 /// high-count timings (per-LU-solve) where span bookkeeping would be

@@ -1,0 +1,219 @@
+//! Round-trip tests for the Chrome Trace Event Format exporter and the
+//! flight recorder's post-mortem dumps: both must parse with the
+//! crate's own `JsonValue` parser, and the chrome trace must carry
+//! well-formed per-thread tracks (monotone start times, events on one
+//! thread either properly nested or disjoint).
+//!
+//! The registry is process-global, so the tests serialize on one lock
+//! and reset around themselves.
+
+use std::sync::Mutex;
+
+use telemetry::{JsonValue, TraceMode};
+
+static REGISTRY_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    REGISTRY_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn temp_path(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("nvff-chrome-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(name)
+}
+
+/// Complete ("X") events of one trace document, as (tid, ts, dur).
+fn complete_events(doc: &JsonValue) -> Vec<(i64, f64, f64)> {
+    doc.get("traceEvents")
+        .and_then(JsonValue::as_array)
+        .expect("traceEvents array")
+        .iter()
+        .filter(|e| e.get("ph").and_then(JsonValue::as_str) == Some("X"))
+        .map(|e| {
+            (
+                e.get("tid").and_then(JsonValue::as_i64).expect("tid"),
+                e.get("ts").and_then(JsonValue::as_f64).expect("ts"),
+                e.get("dur").and_then(JsonValue::as_f64).expect("dur"),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn chrome_trace_round_trips_with_per_thread_tracks() {
+    let _guard = lock();
+    telemetry::reset_for_tests();
+    let path = temp_path("trace.json");
+    telemetry::init(TraceMode::Chrome(path.clone()));
+    telemetry::set_thread_label("main");
+
+    {
+        let _root = telemetry::span("root");
+        for _ in 0..3 {
+            let _inner = telemetry::span("inner");
+            telemetry::counter("chrome.test_events", 1);
+        }
+    }
+    std::thread::spawn(|| {
+        telemetry::set_thread_label(telemetry::worker_label(0));
+        let _w = telemetry::span(telemetry::worker_label(0));
+        let _job = telemetry::span("job");
+    })
+    .join()
+    .expect("worker thread");
+
+    telemetry::finish();
+    telemetry::init(TraceMode::Off);
+
+    let text = std::fs::read_to_string(&path).expect("trace file");
+    let doc = JsonValue::parse(&text).expect("chrome trace parses as one JSON document");
+
+    // Spans closed on two threads: main's root/inner and the worker's.
+    let events = complete_events(&doc);
+    assert!(events.len() >= 5, "expected >=5 X events, got {events:?}");
+    let tids: std::collections::BTreeSet<i64> = events.iter().map(|e| e.0).collect();
+    assert!(tids.len() >= 2, "expected >=2 thread tracks, got {tids:?}");
+
+    // Per thread: sorted by start the events are monotone and either
+    // properly nested (child inside parent) or disjoint — RAII spans
+    // cannot partially overlap. The epsilon absorbs µs rounding.
+    const EPS: f64 = 0.5;
+    for &tid in &tids {
+        let mut track: Vec<(f64, f64)> = events
+            .iter()
+            .filter(|e| e.0 == tid)
+            .map(|e| (e.1, e.1 + e.2))
+            .collect();
+        track.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        for w in track.windows(2) {
+            let ((s0, e0), (s1, e1)) = (w[0], w[1]);
+            assert!(
+                s1 >= s0 - EPS,
+                "starts not monotone on tid {tid}: {track:?}"
+            );
+            let nested = e1 <= e0 + EPS;
+            let disjoint = s1 >= e0 - EPS;
+            assert!(
+                nested || disjoint,
+                "partial overlap on tid {tid}: ({s0},{e0}) vs ({s1},{e1})"
+            );
+        }
+    }
+
+    // Metadata: process name plus both thread labels.
+    let all = doc
+        .get("traceEvents")
+        .and_then(JsonValue::as_array)
+        .expect("traceEvents");
+    let label_of = |e: &JsonValue| {
+        e.get("args")
+            .and_then(|a| a.get("name"))
+            .and_then(JsonValue::as_str)
+            .map(str::to_owned)
+    };
+    let thread_names: Vec<String> = all
+        .iter()
+        .filter(|e| e.get("name").and_then(JsonValue::as_str) == Some("thread_name"))
+        .filter_map(label_of)
+        .collect();
+    assert!(thread_names.iter().any(|n| n == "main"), "{thread_names:?}");
+    assert!(
+        thread_names.iter().any(|n| n == "worker/0"),
+        "{thread_names:?}"
+    );
+    // Counter samples survive as "C" events.
+    assert!(
+        all.iter().any(|e| {
+            e.get("ph").and_then(JsonValue::as_str) == Some("C")
+                && e.get("name").and_then(JsonValue::as_str) == Some("chrome.test_events")
+        }),
+        "missing counter event"
+    );
+
+    let _ = std::fs::remove_file(&path);
+    telemetry::reset_for_tests();
+}
+
+#[test]
+fn replacing_a_chrome_mode_finalizes_the_document() {
+    let _guard = lock();
+    telemetry::reset_for_tests();
+    let path = temp_path("replaced.json");
+    telemetry::init(TraceMode::Chrome(path.clone()));
+    {
+        let _s = telemetry::span("short");
+    }
+    // Switching modes (not finish) must still leave complete JSON.
+    telemetry::init(TraceMode::Off);
+    let text = std::fs::read_to_string(&path).expect("trace file");
+    let doc = JsonValue::parse(&text).expect("finalized on mode switch");
+    assert_eq!(complete_events(&doc).len(), 1);
+    let _ = std::fs::remove_file(&path);
+    telemetry::reset_for_tests();
+}
+
+#[test]
+fn flight_postmortem_round_trips_through_the_parser() {
+    let _guard = lock();
+    telemetry::reset_for_tests();
+    telemetry::flight::reset_for_tests();
+    let dir = std::env::temp_dir().join(format!("nvff-chrome-pm-{}", std::process::id()));
+    telemetry::flight::set_postmortem_dir(Some(dir.clone()));
+    telemetry::init(TraceMode::Collect);
+
+    let _analysis = telemetry::span("tran");
+    // Overfill the ring so the dump window is exactly CAPACITY deep.
+    for i in 0..(telemetry::flight::CAPACITY + 40) {
+        telemetry::flight::record(
+            telemetry::flight::EventKind::NewtonDelta,
+            i as f64 * 1e-12,
+            1e-6,
+        );
+    }
+    let pm = telemetry::flight::Postmortem {
+        circuit: "roundtrip",
+        analysis: "tran",
+        error: "newton iteration did not converge",
+        time_s: 2e-9,
+        stats: &[("newton_iterations", 300)],
+    };
+    let path = telemetry::flight::dump(&pm).expect("dump written");
+
+    let text = std::fs::read_to_string(&path).expect("dump file");
+    let doc = JsonValue::parse(&text).expect("post-mortem parses");
+    assert_eq!(
+        doc.get("schema").and_then(JsonValue::as_str),
+        Some(telemetry::flight::POSTMORTEM_SCHEMA)
+    );
+    // The open span's path lands in the dump.
+    assert_eq!(
+        doc.get("span_path").and_then(JsonValue::as_str),
+        Some("tran")
+    );
+    let events = doc
+        .get("events")
+        .and_then(JsonValue::as_array)
+        .expect("events");
+    assert_eq!(events.len(), telemetry::flight::CAPACITY);
+    // Sequence numbers strictly increase and sim times are monotone
+    // (this producer records them in order on one thread).
+    let seqs: Vec<i64> = events
+        .iter()
+        .map(|e| e.get("seq").and_then(JsonValue::as_i64).expect("seq"))
+        .collect();
+    assert!(seqs.windows(2).all(|w| w[0] < w[1]), "{seqs:?}");
+    let times: Vec<f64> = events
+        .iter()
+        .map(|e| e.get("t_sim_s").and_then(JsonValue::as_f64).expect("t"))
+        .collect();
+    assert!(times.windows(2).all(|w| w[0] <= w[1]));
+
+    drop(_analysis);
+    let _ = std::fs::remove_dir_all(&dir);
+    telemetry::flight::reset_for_tests();
+    telemetry::init(TraceMode::Off);
+    telemetry::reset_for_tests();
+}

@@ -1,0 +1,128 @@
+//! Property tests for `Histogram::merge` and the cumulative-bucket
+//! view feeding the Prometheus exposition.
+//!
+//! The proptest stub only ships scalar strategies, so observation sets
+//! are grown from a drawn `u64` seed through a local splitmix
+//! generator — same seed, same data, reproducible from a failure log.
+
+use proptest::prelude::*;
+use telemetry::Histogram;
+
+/// Splitmix64: tiny, statistically fine for shaping test data.
+struct Mix(u64);
+
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// A positive value spanning the histogram's full dynamic range —
+    /// including the underflow (< 1e-15) and overflow (>= 1e3) buckets
+    /// and exact decade edges.
+    fn value(&mut self) -> f64 {
+        match self.next() % 8 {
+            0 => 1e-18, // underflow
+            1 => 1e6,   // overflow
+            2 => 1e-15, // lowest edge
+            3 => 1e3,   // overflow threshold
+            _ => {
+                let decade = (self.next() % 20) as f64 - 16.0; // 1e-16 .. 1e3
+                let mantissa = 1.0 + (self.next() % 899) as f64 / 100.0;
+                mantissa * 10f64.powf(decade)
+            }
+        }
+    }
+
+    fn values(&mut self, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.value()).collect()
+    }
+}
+
+fn hist_of(values: &[f64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    /// merge preserves count exactly, min/max exactly, and sum as the
+    /// one extra f64 addition it performs.
+    #[test]
+    fn merge_preserves_summary_statistics(seed in any::<u64>(), na in 0usize..60, nb in 0usize..60) {
+        let mut mix = Mix(seed);
+        let (va, vb) = (mix.values(na), mix.values(nb));
+        let (a, b) = (hist_of(&va), hist_of(&vb));
+        let mut merged = a.clone();
+        merged.merge(&b);
+
+        prop_assert_eq!(merged.count(), a.count() + b.count());
+        prop_assert_eq!(merged.sum(), a.sum() + b.sum());
+        let min = match (a.min(), b.min()) {
+            (Some(x), Some(y)) => Some(x.min(y)),
+            (m, None) | (None, m) => m,
+        };
+        let max = match (a.max(), b.max()) {
+            (Some(x), Some(y)) => Some(x.max(y)),
+            (m, None) | (None, m) => m,
+        };
+        prop_assert_eq!(merged.min(), min);
+        prop_assert_eq!(merged.max(), max);
+    }
+
+    /// Bucket-by-bucket, merging equals recording the concatenation:
+    /// the cumulative views agree pair for pair. (Full `PartialEq`
+    /// would also compare `sum`, whose f64 rounding depends on
+    /// accumulation order — bucket counts must not.)
+    #[test]
+    fn merge_equals_recording_the_concatenation(seed in any::<u64>(), na in 0usize..60, nb in 0usize..60) {
+        let mut mix = Mix(seed);
+        let (va, vb) = (mix.values(na), mix.values(nb));
+        let mut merged = hist_of(&va);
+        merged.merge(&hist_of(&vb));
+        let all: Vec<f64> = va.iter().chain(vb.iter()).copied().collect();
+        prop_assert_eq!(merged.cumulative_buckets(), hist_of(&all).cumulative_buckets());
+    }
+
+    /// The cumulative view is a valid Prometheus bucket ladder: upper
+    /// edges strictly increasing, counts non-decreasing, and the final
+    /// entry is exactly (+inf, count).
+    #[test]
+    fn cumulative_buckets_form_a_ladder(seed in any::<u64>(), n in 0usize..80) {
+        let mut mix = Mix(seed);
+        let h = hist_of(&mix.values(n));
+        let buckets = h.cumulative_buckets();
+        prop_assert!(!buckets.is_empty());
+        for w in buckets.windows(2) {
+            prop_assert!(w[0].0 < w[1].0, "edges not increasing: {:?} {:?}", w[0], w[1]);
+            prop_assert!(w[0].1 <= w[1].1, "counts not cumulative: {:?} {:?}", w[0], w[1]);
+        }
+        let last = buckets.last().expect("nonempty");
+        prop_assert!(last.0.is_infinite());
+        prop_assert_eq!(last.1, h.count());
+    }
+
+    /// quantile is monotone non-decreasing in q, and brackets within
+    /// the recorded range (bucket resolution: the answer is a bucket
+    /// lower edge, so it can sit below min but never above max).
+    #[test]
+    fn quantile_is_monotone_in_q(seed in any::<u64>(), n in 1usize..80) {
+        let mut mix = Mix(seed);
+        let h = hist_of(&mix.values(n));
+        let qs: Vec<f64> = (0..=20).map(|i| f64::from(i) / 20.0).collect();
+        let mut prev = f64::NEG_INFINITY;
+        for &q in &qs {
+            let v = h.quantile(q).expect("nonempty histogram");
+            prop_assert!(v >= prev, "quantile({q}) = {v} < previous {prev}");
+            prev = v;
+        }
+        if let Some(max) = h.max() {
+            prop_assert!(prev <= max, "top quantile {prev} above max {max}");
+        }
+    }
+}

@@ -57,6 +57,80 @@ NVFF_TRACE="jsonl:$smoke_trace" \
 cargo run --offline -q -p telemetry --example validate -- "$smoke_json"
 cargo run --offline -q -p telemetry --example validate -- "$smoke_trace"
 
+echo "==> metrics smoke: table2 --quick --jobs 2 --serve 127.0.0.1:0"
+# The /metrics sidecar and the chrome trace exporter, end to end: run
+# table2 with an OS-assigned port, scrape /healthz and /metrics with the
+# serve crate's own zero-dependency client, check the exposition carries
+# the solver counters and the closed root span, then release the linger
+# via /quitquitquit. The chrome trace must parse as one JSON document.
+chrome_trace="target/ci_smoke_chrome.json"
+serve_addr_file="target/ci_smoke_serve_addr"
+metrics_out="target/ci_smoke_metrics.txt"
+rm -f "$serve_addr_file"
+cargo build --offline -q -p nvff-bench --bin table2 -p serve --example scrape
+NVFF_TRACE="chrome:$chrome_trace" \
+    cargo run --offline -q -p nvff-bench --bin table2 -- --quick --jobs 2 \
+    --serve 127.0.0.1:0 --serve-addr-file "$serve_addr_file" --serve-linger 60 \
+    >/dev/null 2>&1 &
+serve_pid=$!
+for _ in $(seq 1 300); do
+    [ -s "$serve_addr_file" ] && break
+    sleep 0.1
+done
+[ -s "$serve_addr_file" ] || {
+    echo "serve sidecar never wrote its bound address" >&2
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+}
+serve_addr="$(cat "$serve_addr_file")"
+cargo run --offline -q -p serve --example scrape -- "$serve_addr" /healthz \
+    | grep -qx "ok" || {
+    echo "/healthz did not answer ok" >&2
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+}
+# Poll until the root span has closed — i.e. the run is done and only
+# lingering for us — so the scrape sees the final counter totals.
+scraped=0
+for _ in $(seq 1 600); do
+    if cargo run --offline -q -p serve --example scrape -- "$serve_addr" /metrics \
+        > "$metrics_out" 2>/dev/null \
+        && grep -q 'nvff_span_seconds_count{path="table2"}' "$metrics_out"; then
+        scraped=1
+        break
+    fi
+    sleep 0.2
+done
+[ "$scraped" -eq 1 ] || {
+    echo "metrics scrape never showed the closed table2 root span" >&2
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+}
+grep -q '^nvff_wall_seconds ' "$metrics_out" || {
+    echo "scrape is missing the nvff_wall_seconds gauge" >&2
+    exit 1
+}
+grep -q '^nvff_sweep_jobs_total ' "$metrics_out" || {
+    echo "scrape is missing the sweep job counter" >&2
+    exit 1
+}
+grep -q '^nvff_spice_newton_delta_bucket{' "$metrics_out" || {
+    echo "scrape is missing the Newton-delta histogram" >&2
+    exit 1
+}
+grep -q '_bucket{le="+Inf"} ' "$metrics_out" || {
+    echo "scrape has no terminal +Inf histogram bucket" >&2
+    exit 1
+}
+cargo run --offline -q -p serve --example scrape -- "$serve_addr" /quitquitquit >/dev/null
+wait "$serve_pid"
+# The chrome trace is finalized by the binary's telemetry::finish().
+cargo run --offline -q -p telemetry --example validate -- "$chrome_trace"
+grep -q '"traceEvents"' "$chrome_trace" || {
+    echo "chrome trace is missing the traceEvents array" >&2
+    exit 1
+}
+
 echo "==> family smoke: family --quick --json (n = 1, 2, 4)"
 # The cell-family bench characterizes the generator's n-bit words and
 # flattens each word's subcircuit twice, so the validated report must
