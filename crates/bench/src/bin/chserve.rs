@@ -1,0 +1,70 @@
+//! Characterization-service loopback benchmark.
+//!
+//! Usage: `chserve [--quick] [--json <path>] [--clients <N>]
+//! [--workers <N>]`. Boots an in-process `nvff-serve` on
+//! `127.0.0.1:0` and measures three phases over real sockets: cold
+//! (every request a distinct fingerprint → a simulation), warm (the
+//! same set replayed → cache hits), and coalesced (many concurrent
+//! clients on one fresh key → single-flight sharing). With `--json`,
+//! the `chserve` section of the run report records throughput and
+//! latency quantiles per phase plus the cache-counter deltas.
+
+use std::time::Instant;
+
+use nvff_bench::chserve::{run, ChserveOptions};
+
+fn usize_flag(name: &str) -> Option<usize> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == name {
+            return args.next().and_then(|v| v.parse().ok());
+        }
+        if let Some(v) = a.strip_prefix(&format!("{name}=")) {
+            return v.parse().ok();
+        }
+    }
+    None
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    telemetry::init_from_env();
+    let json_path = nvff_bench::json_path_from_args();
+    telemetry::ensure_collecting();
+
+    let mut options = if std::env::args().any(|a| a == "--quick") {
+        ChserveOptions::quick()
+    } else {
+        ChserveOptions::default()
+    };
+    if let Some(clients) = usize_flag("--clients") {
+        options.clients = clients.max(1);
+    }
+    if let Some(workers) = usize_flag("--workers") {
+        options.workers = workers.max(1);
+    }
+
+    let mut run_report = telemetry::RunReport::new("chserve");
+    let root_span = telemetry::span("chserve");
+    let start = Instant::now();
+
+    eprintln!(
+        "driving characterization service: {} circuits x {} analyses, {} clients, {} workers...",
+        options.circuits, options.analyses_per_circuit, options.clients, options.workers
+    );
+    let report = run(&options)?;
+
+    println!("# Characterization service (loopback)\n");
+    println!("{}", report.markdown());
+
+    let mut section = report.section();
+    section.push("wall_s", start.elapsed().as_secs_f64());
+    run_report.add(section);
+
+    drop(root_span);
+    let snap = telemetry::finish();
+    if let Some(path) = json_path {
+        run_report.write(&path, &snap)?;
+        eprintln!("wrote {}", path.display());
+    }
+    Ok(())
+}

@@ -2,13 +2,17 @@
 //! word across word widths and reports area / read-energy scaling
 //! against an n × 1-bit baseline.
 //!
-//! Usage: `family [--quick] [--json <path>]`. Default sweeps
-//! n ∈ {1, 2, 4, 8}; `--quick` stops at n = 4 (the CI smoke
+//! Usage: `family [--quick] [--json <path>] [--serve <addr>]`. Default
+//! sweeps n ∈ {1, 2, 4, 8}; `--quick` stops at n = 4 (the CI smoke
 //! configuration). With `--json`, emits a machine-readable run report
 //! whose `family` section carries the per-width metrics, and whose
 //! telemetry counters expose the shared-`StampPlan` accounting
 //! (`spice.subckt.plan_builds` / `plan_reuses` / `instances`) from the
-//! subcircuit instantiations this bench performs per width.
+//! subcircuit instantiations this bench performs per width. `--serve`
+//! exposes the live registry at `http://<addr>/metrics` while the
+//! characterizations run (companion flags: `--serve-addr-file` writes
+//! the bound address, `--serve-linger <secs>` keeps serving after the
+//! run for a final scrape).
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -54,6 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if json_path.is_some() {
         telemetry::ensure_collecting();
     }
+    let metrics_server = nvff_bench::serve_from_args();
     let quick = std::env::args().any(|a| a == "--quick");
     let widths: &[usize] = if quick { &[1, 2, 4] } else { &[1, 2, 4, 8] };
 
@@ -160,6 +165,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if let Some(path) = json_path {
         run.write(&path, &snap)?;
         eprintln!("wrote {}", path.display());
+    }
+    if let Some(guard) = metrics_server {
+        guard.finish();
     }
     Ok(())
 }

@@ -1,0 +1,357 @@
+//! Loopback benchmark of the characterization service.
+//!
+//! Stands up a real [`serve::MetricsServer`] with a
+//! [`serve::CharacterizeService`] on `127.0.0.1:0` and drives it with
+//! raw-socket HTTP clients through three phases:
+//!
+//! - **cold** — every request is a distinct fingerprint, so each one
+//!   runs a simulation (misses, batched per circuit by the queue);
+//! - **warm** — the same request set again, answered entirely from the
+//!   content-addressed cache;
+//! - **coalesced** — many concurrent clients post one fresh
+//!   fingerprint, exercising single-flight sharing.
+//!
+//! Each phase records throughput and latency quantiles; the
+//! [`ChserveReport::section`] output lands in `BENCH_report.json` as
+//! the `chserve` section. The contract the committed baseline asserts:
+//! warm throughput is at least an order of magnitude above cold,
+//! because a hit costs a map probe while a miss costs a transient
+//! simulation.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use telemetry::Section;
+
+/// Knobs for one [`run`].
+#[derive(Debug, Clone)]
+pub struct ChserveOptions {
+    /// Distinct circuits (override points) in the cold request set.
+    pub circuits: usize,
+    /// Analysis kinds requested per circuit (1–4); kinds past the first
+    /// share the circuit's one simulation through the worker pools.
+    pub analyses_per_circuit: usize,
+    /// Concurrent client threads driving each phase.
+    pub clients: usize,
+    /// How many times the warm phase replays the cold set.
+    pub warm_rounds: usize,
+    /// Concurrent clients posting the one fresh key in the coalesce
+    /// phase.
+    pub coalesce_fanout: usize,
+    /// Service worker threads.
+    pub workers: usize,
+}
+
+impl Default for ChserveOptions {
+    fn default() -> Self {
+        Self {
+            circuits: 12,
+            analyses_per_circuit: 2,
+            clients: 8,
+            warm_rounds: 20,
+            coalesce_fanout: 8,
+            workers: 2,
+        }
+    }
+}
+
+impl ChserveOptions {
+    /// The CI / report configuration: small enough to finish in a few
+    /// seconds even in debug builds.
+    #[must_use]
+    pub fn quick() -> Self {
+        Self {
+            circuits: 6,
+            analyses_per_circuit: 2,
+            warm_rounds: 10,
+            ..Self::default()
+        }
+    }
+}
+
+/// Latency/throughput summary of one phase.
+#[derive(Debug, Clone, Copy)]
+pub struct PhaseStats {
+    /// Requests completed.
+    pub requests: usize,
+    /// Wall-clock for the whole phase.
+    pub wall_s: f64,
+    /// Median request latency.
+    pub p50_s: f64,
+    /// 99th-percentile request latency (the max for small sets).
+    pub p99_s: f64,
+}
+
+impl PhaseStats {
+    /// Requests per second over the phase wall-clock.
+    #[must_use]
+    pub fn throughput_rps(&self) -> f64 {
+        self.requests as f64 / self.wall_s.max(1e-9)
+    }
+
+    fn from_latencies(mut latencies: Vec<f64>, wall_s: f64) -> Self {
+        latencies.sort_by(f64::total_cmp);
+        let quantile = |q: f64| -> f64 {
+            if latencies.is_empty() {
+                return 0.0;
+            }
+            let index = ((latencies.len() - 1) as f64 * q).round() as usize;
+            latencies[index]
+        };
+        Self {
+            requests: latencies.len(),
+            wall_s,
+            p50_s: quantile(0.5),
+            p99_s: quantile(0.99),
+        }
+    }
+}
+
+/// The full benchmark result.
+#[derive(Debug, Clone)]
+pub struct ChserveReport {
+    /// Distinct-fingerprint phase (every request simulates).
+    pub cold: PhaseStats,
+    /// Replay phase (every request is a cache hit).
+    pub warm: PhaseStats,
+    /// Single-flight phase (one fresh key, many concurrent clients).
+    pub coalesced: PhaseStats,
+    /// `serve.cache.hits` delta across the run.
+    pub hits: u64,
+    /// `serve.cache.misses` delta across the run (underlying
+    /// simulations scheduled).
+    pub misses: u64,
+    /// `serve.coalesced` delta across the run.
+    pub coalesced_requests: u64,
+}
+
+impl ChserveReport {
+    /// Warm-over-cold throughput ratio — the cache's headline win.
+    #[must_use]
+    pub fn warm_over_cold(&self) -> f64 {
+        self.warm.throughput_rps() / self.cold.throughput_rps().max(1e-9)
+    }
+
+    /// Renders the `chserve` run-report section.
+    #[must_use]
+    pub fn section(&self) -> Section {
+        let mut section = Section::new("chserve");
+        for (name, phase) in [
+            ("cold", &self.cold),
+            ("warm", &self.warm),
+            ("coalesced", &self.coalesced),
+        ] {
+            section.push(&format!("{name}.requests"), phase.requests as u64);
+            section.push(&format!("{name}.wall_s"), phase.wall_s);
+            section.push(&format!("{name}.throughput_rps"), phase.throughput_rps());
+            section.push(&format!("{name}.p50_ms"), phase.p50_s * 1e3);
+            section.push(&format!("{name}.p99_ms"), phase.p99_s * 1e3);
+        }
+        section.push("warm_over_cold", self.warm_over_cold());
+        section.push("cache.hits", self.hits);
+        section.push("cache.misses", self.misses);
+        section.push("cache.coalesced", self.coalesced_requests);
+        section
+    }
+
+    /// Human-readable summary lines.
+    #[must_use]
+    pub fn markdown(&self) -> String {
+        use std::fmt::Write as _;
+        let mut md = String::new();
+        let _ = writeln!(md, "| phase | requests | rps | p50 (ms) | p99 (ms) |");
+        let _ = writeln!(md, "|---|--:|--:|--:|--:|");
+        for (name, phase) in [
+            ("cold (all miss)", &self.cold),
+            ("warm (all hit)", &self.warm),
+            ("coalesced", &self.coalesced),
+        ] {
+            let _ = writeln!(
+                md,
+                "| {name} | {} | {:.0} | {:.2} | {:.2} |",
+                phase.requests,
+                phase.throughput_rps(),
+                phase.p50_s * 1e3,
+                phase.p99_s * 1e3,
+            );
+        }
+        let _ = writeln!(
+            md,
+            "\n* warm / cold throughput: {:.1}×; hits {}, misses {}, coalesced {}",
+            self.warm_over_cold(),
+            self.hits,
+            self.misses,
+            self.coalesced_requests,
+        );
+        md
+    }
+}
+
+/// One raw-socket POST to `/v1/characterize`; returns the status code.
+fn post(addr: SocketAddr, body: &str) -> Result<u16, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(120)));
+    let _ = stream.set_nodelay(true);
+    let request = format!(
+        "POST /v1/characterize HTTP/1.1\r\nHost: bench\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream
+        .write_all(request.as_bytes())
+        .map_err(|e| format!("write: {e}"))?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| format!("read: {e}"))?;
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("malformed response: {response:?}"))?;
+    if status != 200 {
+        return Err(format!("status {status}: {response:?}"));
+    }
+    Ok(status)
+}
+
+/// Drives `bodies` through `clients` threads (round-robin split), each
+/// posting its share sequentially. Returns per-request latencies and
+/// the phase wall-clock.
+fn drive(addr: SocketAddr, bodies: &[String], clients: usize) -> Result<PhaseStats, String> {
+    let clients = clients.clamp(1, bodies.len().max(1));
+    let started = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|k| {
+            let share: Vec<String> = bodies.iter().skip(k).step_by(clients).cloned().collect();
+            std::thread::spawn(move || -> Result<Vec<f64>, String> {
+                let mut latencies = Vec::with_capacity(share.len());
+                for body in &share {
+                    let t0 = Instant::now();
+                    post(addr, body)?;
+                    latencies.push(t0.elapsed().as_secs_f64());
+                }
+                Ok(latencies)
+            })
+        })
+        .collect();
+    let mut latencies = Vec::with_capacity(bodies.len());
+    for handle in handles {
+        latencies.extend(handle.join().map_err(|_| "client thread panicked")??);
+    }
+    Ok(PhaseStats::from_latencies(
+        latencies,
+        started.elapsed().as_secs_f64(),
+    ))
+}
+
+/// Value of counter `name` in a telemetry snapshot (0 when absent).
+fn counter(snapshot: &telemetry::Snapshot, name: &str) -> u64 {
+    snapshot
+        .counters
+        .iter()
+        .find(|(n, _)| n == name)
+        .map_or(0, |(_, v)| *v)
+}
+
+/// Runs the benchmark: builds the service, runs the three phases,
+/// tears the server down, and returns the measurements.
+///
+/// # Errors
+///
+/// Propagates bind and client I/O failures as strings.
+pub fn run(options: &ChserveOptions) -> Result<ChserveReport, String> {
+    telemetry::ensure_collecting();
+    let service_options = serve::ServiceOptions {
+        workers: options.workers,
+        queue_capacity: 4096,
+        ..serve::ServiceOptions::default()
+    };
+    let service = Arc::new(serve::CharacterizeService::new(&service_options));
+    let mut server = serve::MetricsServer::bind_with("127.0.0.1:0", Some(service))
+        .map_err(|e| format!("bind: {e}"))?;
+    let addr = server.local_addr();
+
+    // The cold set: `circuits` override points, each requested under
+    // `analyses_per_circuit` analysis kinds. A slightly finer time step
+    // keeps the cold phase honestly simulation-bound even in release
+    // builds.
+    const ANALYSES: [&str; 4] = ["full", "read", "write", "leakage"];
+    let kinds = options.analyses_per_circuit.clamp(1, ANALYSES.len());
+    let mut bodies = Vec::with_capacity(options.circuits * kinds);
+    for circuit in 0..options.circuits {
+        for analysis in &ANALYSES[..kinds] {
+            bodies.push(format!(
+                r#"{{"variant":"standard","analysis":"{analysis}","overrides":{{"sizing.output_load_ff":{:.1},"time_step_ps":1.0}}}}"#,
+                5.0 + circuit as f64,
+            ));
+        }
+    }
+
+    let before = telemetry::snapshot();
+    let cold = drive(addr, &bodies, options.clients)?;
+
+    let warm_bodies: Vec<String> = std::iter::repeat_with(|| bodies.clone())
+        .take(options.warm_rounds.max(1))
+        .flatten()
+        .collect();
+    let warm = drive(addr, &warm_bodies, options.clients)?;
+
+    // One fresh fingerprint, many simultaneous clients: the first
+    // schedules, the rest share its flight (or hit right after it).
+    let fresh = r#"{"variant":"nv_word_2","overrides":{"time_step_ps":1.0}}"#.to_owned();
+    let coalesce_bodies = vec![fresh; options.coalesce_fanout.max(2)];
+    let coalesced = drive(addr, &coalesce_bodies, options.coalesce_fanout.max(2))?;
+    let after = telemetry::snapshot();
+
+    server.shutdown();
+    Ok(ChserveReport {
+        cold,
+        warm,
+        coalesced,
+        hits: counter(&after, "serve.cache.hits") - counter(&before, "serve.cache.hits"),
+        misses: counter(&after, "serve.cache.misses") - counter(&before, "serve.cache.misses"),
+        coalesced_requests: counter(&after, "serve.coalesced")
+            - counter(&before, "serve.coalesced"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_stats_quantiles_and_throughput() {
+        let stats = PhaseStats::from_latencies(vec![0.004, 0.001, 0.002, 0.003, 0.100], 0.5);
+        assert_eq!(stats.requests, 5);
+        assert!((stats.p50_s - 0.003).abs() < 1e-12);
+        assert!((stats.p99_s - 0.100).abs() < 1e-12);
+        assert!((stats.throughput_rps() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_section_carries_the_contract_fields() {
+        let phase = PhaseStats {
+            requests: 10,
+            wall_s: 1.0,
+            p50_s: 0.001,
+            p99_s: 0.002,
+        };
+        let report = ChserveReport {
+            cold: PhaseStats {
+                wall_s: 10.0,
+                ..phase
+            },
+            warm: phase,
+            coalesced: phase,
+            hits: 7,
+            misses: 3,
+            coalesced_requests: 5,
+        };
+        assert!((report.warm_over_cold() - 10.0).abs() < 1e-9);
+        let md = report.markdown();
+        assert!(md.contains("warm / cold throughput: 10.0"), "{md}");
+    }
+}

@@ -15,6 +15,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chserve;
+
 /// Extracts the `--json <path>` argument from the process command line
 /// (the machine-readable run-report mode shared by the bench binaries).
 ///

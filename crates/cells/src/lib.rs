@@ -55,6 +55,7 @@ pub mod generator;
 pub mod margin;
 pub mod metrics;
 pub mod proposed;
+pub mod request;
 pub mod setup;
 pub mod standard;
 pub mod subckt;
@@ -65,5 +66,6 @@ pub use generator::{NvWord, WordParams, WordRestoreOutcome, WordStimulus, WordSt
 pub use margin::ReadMargins;
 pub use metrics::{CellMetrics, CornerEnvelope, LatchComparison, RestoreOutcome, StoreOutcome};
 pub use proposed::ProposedLatch;
+pub use request::{apply_override, parse_corner, resolve_config, CellVariant, RequestError};
 pub use setup::CircuitSetup;
 pub use standard::StandardLatch;

@@ -74,6 +74,16 @@ impl MtjParams {
         }
     }
 
+    /// Starts building a parameter set from `self` — the way to apply
+    /// point overrides on top of an already corner-shifted device
+    /// without losing the shift. `build()` re-validates the result.
+    #[must_use]
+    pub fn to_builder(&self) -> MtjParamsBuilder {
+        MtjParamsBuilder {
+            params: self.clone(),
+        }
+    }
+
     /// Free-layer disc radius.
     #[must_use]
     pub fn radius(&self) -> Length {
@@ -459,6 +469,22 @@ mod tests {
             .build()
             .unwrap_err();
         assert!(err.to_string().contains("write current"));
+    }
+
+    #[test]
+    fn to_builder_preserves_the_starting_point() {
+        let shifted = MtjParams::date2018().perturbed(1.1, 0.9, 1.0);
+        let p = shifted
+            .to_builder()
+            .thermal_stability(55.0)
+            .build()
+            .expect("valid params");
+        // The override lands; the perturbation survives.
+        assert!((p.thermal_stability() - 55.0).abs() < 1e-12);
+        assert!(
+            (p.resistance_parallel().ohms() - shifted.resistance_parallel().ohms()).abs() < 1e-12
+        );
+        assert!((p.tmr_zero_bias() - shifted.tmr_zero_bias()).abs() < 1e-12);
     }
 
     #[test]

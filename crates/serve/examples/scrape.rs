@@ -1,7 +1,10 @@
-//! Zero-dependency HTTP GET client for smoke tests:
+//! Zero-dependency HTTP client for smoke tests:
 //!
 //! ```text
+//! # GET (a metrics scrape):
 //! cargo run -p serve --example scrape -- 127.0.0.1:9464 /metrics
+//! # POST (a characterize request; body from a file, or - for stdin):
+//! cargo run -p serve --example scrape -- 127.0.0.1:9464 /v1/characterize req.json
 //! ```
 //!
 //! Prints the response body to stdout; exits nonzero if the connection
@@ -15,9 +18,27 @@ use std::time::Duration;
 fn main() {
     let mut args = std::env::args().skip(1);
     let (Some(addr), Some(path)) = (args.next(), args.next()) else {
-        eprintln!("usage: scrape <addr> <path>");
+        eprintln!("usage: scrape <addr> <path> [post-body-file|-]");
         std::process::exit(2);
     };
+    let body = args.next().map(|source| {
+        if source == "-" {
+            let mut text = String::new();
+            if let Err(e) = std::io::stdin().read_to_string(&mut text) {
+                eprintln!("scrape: stdin: {e}");
+                std::process::exit(1);
+            }
+            text
+        } else {
+            match std::fs::read_to_string(&source) {
+                Ok(text) => text,
+                Err(e) => {
+                    eprintln!("scrape: read {source}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    });
 
     let mut stream = match TcpStream::connect(&addr) {
         Ok(stream) => stream,
@@ -26,8 +47,15 @@ fn main() {
             std::process::exit(1);
         }
     };
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
-    let request = format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(60)));
+    let request = match &body {
+        None => format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"),
+        Some(body) => format!(
+            "POST {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        ),
+    };
     if let Err(e) = stream.write_all(request.as_bytes()) {
         eprintln!("scrape: write: {e}");
         std::process::exit(1);

@@ -1,13 +1,16 @@
 //! Minimal HTTP/1.1 request parsing and response writing over a
-//! `TcpStream` — exactly the slice of the protocol a metrics scrape
-//! needs, hand-rolled so the workspace stays zero-dependency.
+//! `TcpStream` — exactly the slice of the protocol a metrics scrape and
+//! a JSON POST need, hand-rolled so the workspace stays zero-dependency.
 //!
 //! The server speaks one request per connection (`Connection: close`),
-//! which sidesteps keep-alive bookkeeping entirely: Prometheus and
-//! `curl` both handle that fine, and a scrape endpoint has no use for
-//! pipelining. Requests are capped at [`MAX_REQUEST_BYTES`] and reads
-//! are bounded by a socket timeout, so a stuck or hostile client cannot
-//! wedge the accept loop's handler thread.
+//! which sidesteps keep-alive bookkeeping entirely: Prometheus, `curl`
+//! and the bench drivers all handle that fine, and the served routes
+//! have no use for pipelining. Request heads are capped at
+//! [`MAX_HEAD_BYTES`], bodies at a caller-chosen limit (oversize bodies
+//! are a distinct [`ReadError::BodyTooLarge`] so the server can answer
+//! `413 Payload Too Large` instead of a generic 400), and reads are
+//! bounded by a socket timeout, so a stuck or hostile client cannot
+//! wedge a handler thread.
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -15,52 +18,131 @@ use std::time::Duration;
 
 /// Upper bound on the request head (request line + headers). A metrics
 /// scrape is a few hundred bytes; 8 KiB matches common server defaults.
-pub const MAX_REQUEST_BYTES: usize = 8 * 1024;
+pub const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// Former name of [`MAX_HEAD_BYTES`], kept for callers of the metrics
+/// era when the head was the whole request.
+pub const MAX_REQUEST_BYTES: usize = MAX_HEAD_BYTES;
+
+/// Default request-body cap. Characterize requests are a few hundred
+/// bytes of JSON; 64 KiB leaves room for large override maps while
+/// keeping a misbehaving client from ballooning handler memory.
+pub const DEFAULT_MAX_BODY_BYTES: usize = 64 * 1024;
 
 /// Socket read timeout — a client that stops mid-request is cut off.
 pub const READ_TIMEOUT: Duration = Duration::from_secs(5);
 
-/// A parsed request line: method and path (query string stripped).
+/// A parsed request: method, path, headers, and body.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Request {
-    /// HTTP method, uppercased by the client (`GET`, `HEAD`, …).
+    /// HTTP method, uppercased by the client (`GET`, `POST`, …).
     pub method: String,
     /// Decoded-enough path for routing: `/metrics`, `/healthz`, …
     /// (percent-decoding is deliberately not performed; the served
     /// routes are plain ASCII).
     pub path: String,
+    /// Header `(name, value)` pairs in arrival order, names as sent.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
 }
 
-/// Reads and parses one request head from `stream`. Returns `None` on
-/// timeouts, malformed request lines, or heads exceeding
-/// [`MAX_REQUEST_BYTES`] — the caller answers with a 4xx or just drops
-/// the connection.
-pub fn read_request(stream: &mut TcpStream) -> Option<Request> {
+impl Request {
+    /// First value of `name`, compared case-insensitively per RFC 9110.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be read. Each variant maps onto one response
+/// status, decided by the server layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReadError {
+    /// Unparseable request line or headers, an oversized head, an
+    /// unsupported `Transfer-Encoding`, a timeout, or a peer that hung
+    /// up mid-request — all answered 400 (when the socket still works).
+    Malformed,
+    /// `Content-Length` exceeds the configured cap — answered 413.
+    BodyTooLarge {
+        /// The cap that was exceeded, for the error body.
+        limit: usize,
+    },
+}
+
+/// Reads and parses one request (head **and** body) from `stream`.
+///
+/// Bodies are read iff the client sent `Content-Length`; chunked
+/// transfer encoding is not supported (none of the served clients use
+/// it) and is rejected as [`ReadError::Malformed`]. A declared length
+/// above `max_body` fails *before* reading the body, so a hostile
+/// client cannot make the server buffer it.
+///
+/// # Errors
+///
+/// See [`ReadError`].
+pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, ReadError> {
     let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
     let mut buf = Vec::with_capacity(512);
     let mut chunk = [0u8; 512];
-    // Read until the blank line ending the header block.
-    while !head_complete(&buf) {
-        if buf.len() >= MAX_REQUEST_BYTES {
-            return None;
+    // Read until the blank line ending the header block. Bytes past it
+    // (an eagerly-sent body) stay in `buf` and are consumed below.
+    let head_len = loop {
+        if let Some(len) = head_end(&buf) {
+            break len;
+        }
+        if buf.len() >= MAX_HEAD_BYTES {
+            return Err(ReadError::Malformed);
         }
         match stream.read(&mut chunk) {
-            Ok(0) => return None, // peer closed mid-head
+            Ok(0) => return Err(ReadError::Malformed), // peer closed mid-head
             Ok(n) => buf.extend_from_slice(&chunk[..n]),
-            Err(_) => return None, // timeout or reset
+            Err(_) => return Err(ReadError::Malformed), // timeout or reset
+        }
+    };
+    let mut request = parse_head(&buf[..head_len]).ok_or(ReadError::Malformed)?;
+    if request.header("Transfer-Encoding").is_some() {
+        return Err(ReadError::Malformed);
+    }
+    let content_length: usize = match request.header("Content-Length") {
+        None => 0,
+        Some(text) => text.trim().parse().map_err(|_| ReadError::Malformed)?,
+    };
+    if content_length > max_body {
+        return Err(ReadError::BodyTooLarge { limit: max_body });
+    }
+    let mut body = buf[head_len..].to_vec();
+    while body.len() < content_length {
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err(ReadError::Malformed), // peer closed mid-body
+            Ok(n) => body.extend_from_slice(&chunk[..n]),
+            Err(_) => return Err(ReadError::Malformed),
         }
     }
-    parse_request_line(&buf)
+    body.truncate(content_length);
+    request.body = body;
+    Ok(request)
 }
 
-fn head_complete(buf: &[u8]) -> bool {
-    buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.windows(2).any(|w| w == b"\n\n")
+/// Index one past the blank line terminating the head, or `None` while
+/// incomplete. Handles both `\r\n\r\n` and bare `\n\n` framing.
+fn head_end(buf: &[u8]) -> Option<usize> {
+    let crlf = buf.windows(4).position(|w| w == b"\r\n\r\n").map(|p| p + 4);
+    let lf = buf.windows(2).position(|w| w == b"\n\n").map(|p| p + 2);
+    match (crlf, lf) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (a, b) => a.or(b),
+    }
 }
 
-/// Parses `GET /path HTTP/1.1` out of the head bytes.
-fn parse_request_line(buf: &[u8]) -> Option<Request> {
-    let line_end = buf.iter().position(|&b| b == b'\n')?;
-    let line = std::str::from_utf8(&buf[..line_end]).ok()?.trim_end();
+/// Parses the request line and headers out of the head bytes.
+fn parse_head(head: &[u8]) -> Option<Request> {
+    let text = std::str::from_utf8(head).ok()?;
+    let mut lines = text.split('\n').map(|l| l.strip_suffix('\r').unwrap_or(l));
+    let line = lines.next()?;
     let mut parts = line.split_ascii_whitespace();
     let method = parts.next()?;
     let target = parts.next()?;
@@ -68,32 +150,68 @@ fn parse_request_line(buf: &[u8]) -> Option<Request> {
     if !version.starts_with("HTTP/") {
         return None;
     }
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line.split_once(':')?;
+        headers.push((name.trim().to_owned(), value.trim().to_owned()));
+    }
     // Strip any query string; the routes take no parameters.
     let path = target.split('?').next().unwrap_or(target);
     Some(Request {
         method: method.to_owned(),
         path: path.to_owned(),
+        headers,
+        body: Vec::new(),
     })
+}
+
+/// Reason phrase for the statuses this server emits.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Error",
+    }
 }
 
 /// Writes a complete response with `Content-Length` and
 /// `Connection: close`. Errors are swallowed — the peer hanging up
 /// mid-response is its own problem, not the server's.
 pub fn write_response(stream: &mut TcpStream, status: u16, content_type: &str, body: &str) {
-    let reason = match status {
-        200 => "OK",
-        400 => "Bad Request",
-        404 => "Not Found",
-        405 => "Method Not Allowed",
-        _ => "Error",
-    };
-    let head = format!(
-        "HTTP/1.1 {status} {reason}\r\n\
-         Content-Type: {content_type}\r\n\
-         Content-Length: {}\r\n\
-         Connection: close\r\n\r\n",
+    write_response_with(stream, status, content_type, &[], body);
+}
+
+/// [`write_response`] plus extra `(name, value)` headers — `Allow` on a
+/// 405, `Retry-After` on a 429, the cache-status header on a
+/// characterize response. Callers must pass well-formed ASCII pairs.
+pub fn write_response_with(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &str,
+) {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n",
+        reason(status),
         body.len()
     );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("Connection: close\r\n\r\n");
     let _ = stream.write_all(head.as_bytes());
     let _ = stream.write_all(body.as_bytes());
     let _ = stream.flush();
@@ -105,24 +223,42 @@ mod tests {
 
     #[test]
     fn request_line_parses_and_strips_query() {
-        let req = parse_request_line(b"GET /metrics?x=1 HTTP/1.1\r\nHost: a\r\n\r\n")
-            .expect("valid request");
+        let req =
+            parse_head(b"GET /metrics?x=1 HTTP/1.1\r\nHost: a\r\n\r\n").expect("valid request");
         assert_eq!(req.method, "GET");
         assert_eq!(req.path, "/metrics");
+        assert_eq!(req.header("host"), Some("a"));
+        assert_eq!(req.header("HOST"), Some("a"));
+        assert_eq!(req.header("content-length"), None);
     }
 
     #[test]
     fn malformed_request_lines_are_rejected() {
-        assert_eq!(parse_request_line(b"\r\n\r\n"), None);
-        assert_eq!(parse_request_line(b"GET\r\n\r\n"), None);
-        assert_eq!(parse_request_line(b"GET /x SMTP/1.0\r\n\r\n"), None);
-        assert_eq!(parse_request_line(b"\xff\xfe\n"), None);
+        assert_eq!(parse_head(b"\r\n\r\n"), None);
+        assert_eq!(parse_head(b"GET\r\n\r\n"), None);
+        assert_eq!(parse_head(b"GET /x SMTP/1.0\r\n\r\n"), None);
+        assert_eq!(parse_head(b"\xff\xfe\n"), None);
+        // A header line without a colon is malformed.
+        assert_eq!(parse_head(b"GET / HTTP/1.1\r\nbogus line\r\n\r\n"), None);
     }
 
     #[test]
     fn head_detection_handles_both_line_endings() {
-        assert!(head_complete(b"GET / HTTP/1.1\r\n\r\n"));
-        assert!(head_complete(b"GET / HTTP/1.1\n\n"));
-        assert!(!head_complete(b"GET / HTTP/1.1\r\nHost: x\r\n"));
+        assert_eq!(head_end(b"GET / HTTP/1.1\r\n\r\n"), Some(18));
+        assert_eq!(head_end(b"GET / HTTP/1.1\n\n"), Some(16));
+        assert_eq!(head_end(b"GET / HTTP/1.1\r\nHost: x\r\n"), None);
+        // Body bytes after the blank line do not move the boundary.
+        assert_eq!(head_end(b"POST / HTTP/1.1\r\n\r\n{\"k\":1}"), Some(19));
+    }
+
+    #[test]
+    fn headers_parse_in_order_with_trimming() {
+        let req = parse_head(
+            b"POST /v1/characterize HTTP/1.1\r\nContent-Type:  application/json \r\nContent-Length: 7\r\n\r\n",
+        )
+        .expect("valid head");
+        assert_eq!(req.header("Content-Type"), Some("application/json"));
+        assert_eq!(req.header("Content-Length"), Some("7"));
+        assert_eq!(req.headers.len(), 2);
     }
 }

@@ -1,11 +1,23 @@
-//! Zero-dependency `/metrics` service for the spintronic-ff workspace.
+//! Zero-dependency HTTP service for the spintronic-ff workspace:
+//! `/metrics` scraping plus characterization-as-a-service.
 //!
 //! The build is offline, so there is no hyper, no axum, not even a
 //! TLS stack — [`http`] hand-rolls the one-request-per-connection
-//! slice of HTTP/1.1 a Prometheus scrape needs over `std::net`, and
-//! [`metrics`] renders the live [`telemetry`] registry snapshot in the
-//! text exposition format. [`server::MetricsServer`] ties them together
-//! as a background accept thread.
+//! slice of HTTP/1.1 a Prometheus scrape and a JSON POST need over
+//! `std::net`, and [`metrics`] renders the live [`telemetry`] registry
+//! snapshot in the text exposition format. [`server::MetricsServer`]
+//! ties them together as a background accept thread.
+//!
+//! On top of the metrics routes sits the characterization service
+//! (`POST /v1/characterize`), three layers deep:
+//!
+//! - [`api`] — request parsing/validation, canonicalization, and the
+//!   128-bit content fingerprint that keys everything;
+//! - [`cache`] — a sharded in-memory LRU of rendered responses with an
+//!   optional content-addressed on-disk layer (`NVFF_CACHE_DIR`);
+//! - [`queue`] — single-flight coalescing, same-topology batching over
+//!   a pool of simulation workers, bounded-queue load shedding, and
+//!   graceful drain.
 //!
 //! Two deployment shapes:
 //!
@@ -14,19 +26,32 @@
 //!   `bench::serve_from_args`), so a long characterization sweep can be
 //!   watched live from `curl` or a Prometheus scraper;
 //! - **standalone** — the `nvff-serve` binary binds an address, prints
-//!   it, and serves until `GET /quitquitquit` arrives.
+//!   it, and serves (metrics *and* characterization) until
+//!   `GET /quitquitquit` arrives.
 //!
 //! ```no_run
-//! let server = serve::MetricsServer::bind("127.0.0.1:0").expect("bind");
-//! println!("metrics at http://{}/metrics", server.local_addr());
+//! let service = std::sync::Arc::new(serve::CharacterizeService::new(
+//!     &serve::ServiceOptions::default(),
+//! ));
+//! let server = serve::MetricsServer::bind_with("127.0.0.1:0", Some(service)).expect("bind");
+//! println!("characterize at http://{}/v1/characterize", server.local_addr());
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod api;
+pub mod cache;
 pub mod http;
 pub mod metrics;
+pub mod queue;
 pub mod server;
 
+pub use api::{
+    render_error, render_response, AnalysisKind, ApiResponse, CharacterizeRequest,
+    CharacterizeService, ServiceOptions, RESPONSE_SCHEMA,
+};
+pub use cache::ResultCache;
 pub use metrics::{escape_label_value, render_prometheus, sanitize_metric_name};
+pub use queue::{Job, JobQueue, SubmitOutcome};
 pub use server::MetricsServer;

@@ -1,0 +1,207 @@
+//! End-to-end test of the characterization service over a real
+//! loopback socket: the cache contract (byte-identical responses,
+//! exactly one underlying simulation per fingerprint), single-flight
+//! coalescing under concurrency, the HTTP edges (405 + `Allow`, 413,
+//! 400), and graceful drain via `/quitquitquit`.
+//!
+//! Single test function: the telemetry registry is process-global, so
+//! splitting these scenarios across `#[test]`s would race under the
+//! multi-threaded harness.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use serve::{CharacterizeService, MetricsServer, ServiceOptions};
+
+/// One raw HTTP exchange; returns (status, headers, body).
+fn exchange(addr: SocketAddr, request: &str) -> (u16, Vec<(String, String)>, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .expect("timeout");
+    // Ignore write errors: a 413 response arrives while the body is
+    // still being written, and the server is allowed to hang up on it.
+    let _ = stream.write_all(request.as_bytes());
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("response");
+    let (head, body) = response.split_once("\r\n\r\n").unwrap_or_else(|| {
+        panic!(
+            "no header block in {response:?} for {:?}",
+            request.lines().next()
+        )
+    });
+    let mut lines = head.lines();
+    let status: u16 = lines
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|s| s.parse().ok())
+        .expect("status code");
+    let headers = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(name, value)| (name.trim().to_owned(), value.trim().to_owned()))
+        .collect();
+    (status, headers, body.to_owned())
+}
+
+fn get(addr: SocketAddr, path: &str) -> (u16, Vec<(String, String)>, String) {
+    exchange(
+        addr,
+        &format!("GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"),
+    )
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, Vec<(String, String)>, String) {
+    exchange(
+        addr,
+        &format!(
+            "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Type: application/json\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+fn header<'h>(headers: &'h [(String, String)], name: &str) -> Option<&'h str> {
+    headers
+        .iter()
+        .find(|(n, _)| n.eq_ignore_ascii_case(name))
+        .map(|(_, v)| v.as_str())
+}
+
+/// Reads a counter's value out of a Prometheus scrape (0 if absent —
+/// counters only appear after their first increment).
+fn counter_value(scrape: &str, metric: &str) -> u64 {
+    scrape
+        .lines()
+        .find_map(|line| line.strip_prefix(&format!("{metric} ")))
+        .map_or(0, |value| value.trim().parse().expect("counter value"))
+}
+
+#[test]
+fn characterize_service_end_to_end() {
+    telemetry::reset_for_tests();
+    telemetry::init(telemetry::TraceMode::Collect);
+    let options = ServiceOptions {
+        workers: 2,
+        queue_capacity: 16,
+        cache_capacity: 256,
+        cache_dir: None,
+        max_body_bytes: 2048,
+    };
+    let service = Arc::new(CharacterizeService::new(&options));
+    let mut server = MetricsServer::bind_with("127.0.0.1:0", Some(service)).expect("bind port 0");
+    let addr = server.local_addr();
+
+    // --- The cache contract: miss, then byte-identical hit. ---
+    let request = r#"{"variant":"standard"}"#;
+    let (status, headers, first) = post(addr, "/v1/characterize", request);
+    assert_eq!(status, 200, "{first}");
+    assert_eq!(header(&headers, "X-NVFF-Cache"), Some("miss"));
+    assert!(
+        first.contains("\"schema\":\"nvff-characterize/1\""),
+        "{first}"
+    );
+
+    let (status, headers, second) = post(addr, "/v1/characterize", request);
+    assert_eq!(status, 200);
+    assert_eq!(header(&headers, "X-NVFF-Cache"), Some("hit"));
+    assert_eq!(first, second, "hit must be byte-identical to the miss");
+
+    // A respelled-but-equivalent request (key order, whitespace, number
+    // spelling, explicit defaults, corner case) is the same entry.
+    let respelled = r#" {
+        "analysis": "full",
+        "corner": "tt/TYPICAL",
+        "variant": "standard",
+        "overrides": {}
+    } "#;
+    let (status, headers, third) = post(addr, "/v1/characterize", respelled);
+    assert_eq!(status, 200);
+    assert_eq!(header(&headers, "X-NVFF-Cache"), Some("hit"), "{third}");
+    assert_eq!(first, third, "canonicalization must unify spellings");
+
+    // Exactly one simulation happened: misses count computations.
+    let (status, _, scrape) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    assert_eq!(counter_value(&scrape, "nvff_serve_cache_misses_total"), 1);
+    assert_eq!(counter_value(&scrape, "nvff_serve_cache_hits_total"), 2);
+
+    // --- Single-flight coalescing under real concurrency. ---
+    // A deliberately slow point (fine time step) holds the in-flight
+    // window open for ~half a second; followers posted mid-flight must
+    // coalesce rather than simulate again.
+    let slow = r#"{"variant":"nv_word_2","overrides":{"time_step_ps":0.2}}"#;
+    let leader = {
+        let slow = slow.to_owned();
+        std::thread::spawn(move || post(addr, "/v1/characterize", &slow))
+    };
+    std::thread::sleep(Duration::from_millis(100));
+    let followers: Vec<_> = (0..3)
+        .map(|_| {
+            let slow = slow.to_owned();
+            std::thread::spawn(move || post(addr, "/v1/characterize", &slow))
+        })
+        .collect();
+    let (status, headers, slow_body) = leader.join().expect("leader");
+    assert_eq!(status, 200, "{slow_body}");
+    assert_eq!(header(&headers, "X-NVFF-Cache"), Some("miss"));
+    for follower in followers {
+        let (status, headers, body) = follower.join().expect("follower");
+        assert_eq!(status, 200);
+        assert_eq!(
+            header(&headers, "X-NVFF-Cache"),
+            Some("coalesced"),
+            "{body}"
+        );
+        assert_eq!(body, slow_body, "coalesced shares the one result");
+    }
+    let (_, _, scrape) = get(addr, "/metrics");
+    assert_eq!(
+        counter_value(&scrape, "nvff_serve_cache_misses_total"),
+        2,
+        "the slow point simulated exactly once: {scrape}"
+    );
+    assert_eq!(counter_value(&scrape, "nvff_serve_coalesced_total"), 3);
+
+    // --- HTTP edges. ---
+    // Wrong method on a known path: 405 with an Allow header.
+    let (status, headers, _) = get(addr, "/v1/characterize");
+    assert_eq!(status, 405);
+    assert_eq!(header(&headers, "Allow"), Some("POST"));
+
+    // Oversized body: 413 before the body is even read.
+    let oversized = format!(
+        r#"{{"variant":"standard","overrides":{{"pad":{}}}}}"#,
+        "9".repeat(3000)
+    );
+    let (status, _, body) = post(addr, "/v1/characterize", &oversized);
+    assert_eq!(status, 413, "{body}");
+    assert!(body.contains("2048"), "{body}");
+
+    // Malformed and invalid requests: 400 with a JSON error body.
+    let (status, _, body) = post(addr, "/v1/characterize", "{nope");
+    assert_eq!(status, 400);
+    assert!(body.contains("\"error\""), "{body}");
+    let (status, _, body) = post(addr, "/v1/characterize", r#"{"variant":"nv_word_99"}"#);
+    assert_eq!(status, 400);
+    assert!(body.contains("\"error\""), "{body}");
+
+    // --- Graceful drain. ---
+    let (status, _, _) = get(addr, "/quitquitquit");
+    assert_eq!(status, 200);
+    assert!(server.wait_quit(Some(Duration::from_secs(10))), "quit seen");
+    // New work is refused while draining…
+    let (status, _, body) = post(addr, "/v1/characterize", r#"{"variant":"proposed"}"#);
+    assert_eq!(status, 503, "{body}");
+    // …but cached results still serve.
+    let (status, headers, body) = post(addr, "/v1/characterize", request);
+    assert_eq!(status, 200);
+    assert_eq!(header(&headers, "X-NVFF-Cache"), Some("hit"));
+    assert_eq!(body, first);
+
+    server.shutdown();
+    telemetry::init(telemetry::TraceMode::Off);
+    telemetry::reset_for_tests();
+}

@@ -84,6 +84,13 @@ impl<K: Eq + Hash, V> LazyPool<K, V> {
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
+
+    /// Drops every entry, keeping the hit/build counters. Long-lived
+    /// owners (service worker threads, as opposed to one-sweep workers)
+    /// use this to bound memory when the key population is unbounded.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
 }
 
 #[cfg(test)]
@@ -112,5 +119,19 @@ mod tests {
         let pool: LazyPool<u8, u8> = LazyPool::new();
         assert!(pool.is_empty());
         assert_eq!(pool.len(), 0);
+    }
+
+    #[test]
+    fn clear_drops_entries_but_keeps_counters() {
+        let mut pool = LazyPool::new();
+        let _ = pool.get_or_build("a", || 1);
+        let _ = pool.get_or_build("a", || 2);
+        pool.clear();
+        assert!(pool.is_empty());
+        assert_eq!(pool.builds(), 1);
+        assert_eq!(pool.hits(), 1);
+        // Rebuilding after clear counts a fresh build.
+        assert_eq!(*pool.get_or_build("a", || 3), 3);
+        assert_eq!(pool.builds(), 2);
     }
 }

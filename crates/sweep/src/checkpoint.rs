@@ -131,6 +131,8 @@ pub enum CheckpointError {
     /// The file belongs to a different grid (fingerprint, length or
     /// base seed differ).
     Mismatch {
+        /// The offending checkpoint file.
+        path: PathBuf,
         /// What the running grid expects.
         expected: String,
         /// What the file declares.
@@ -143,9 +145,15 @@ impl fmt::Display for CheckpointError {
         match self {
             Self::Io(e) => write!(f, "checkpoint I/O error: {e}"),
             Self::Corrupt(what) => write!(f, "corrupt checkpoint: {what}"),
-            Self::Mismatch { expected, found } => write!(
+            Self::Mismatch {
+                path,
+                expected,
+                found,
+            } => write!(
                 f,
-                "checkpoint belongs to a different grid: expected {expected}, found {found}"
+                "checkpoint {} belongs to a different grid: running grid has {expected}, \
+                 file declares {found}",
+                path.display()
             ),
         }
     }
@@ -234,6 +242,7 @@ fn load<P, T: JsonCodec>(
     let base_seed = field_u64("base_seed")?;
     if fingerprint != policy.fingerprint || points != grid.len() || base_seed != grid.base_seed() {
         return Err(CheckpointError::Mismatch {
+            path: policy.path.clone(),
             expected: grid_tag(grid, policy.fingerprint),
             found: format!("fingerprint={fingerprint:#018x} points={points} base_seed={base_seed}"),
         });
@@ -476,6 +485,27 @@ mod tests {
         )
         .expect_err("fingerprint mismatch");
         assert!(matches!(err, CheckpointError::Mismatch { .. }), "{err}");
+        // The refusal must be diagnosable from the message alone: the
+        // offending file and both fingerprints.
+        let message = err.to_string();
+        assert!(
+            message.contains(&path.display().to_string()),
+            "message names the file: {message}"
+        );
+        assert!(
+            message.contains(&format!(
+                "fingerprint={:#018x}",
+                crate::fingerprint("grid-b")
+            )),
+            "message carries the expected fingerprint: {message}"
+        );
+        assert!(
+            message.contains(&format!(
+                "fingerprint={:#018x}",
+                crate::fingerprint("grid-a")
+            )),
+            "message carries the file's fingerprint: {message}"
+        );
 
         // A different grid shape is refused too.
         let longer = Grid::with_seed(vec![1u64, 2, 3, 4], 9);

@@ -40,9 +40,70 @@ pub fn point_seed(base_seed: u64, index: u64) -> u64 {
     splitmix64_mix(splitmix64_mix(base_seed) ^ counter)
 }
 
-/// FNV-1a hash of a byte string — the engine's stable fingerprint
-/// primitive, used to bind a [checkpoint](crate::checkpoint) to the
-/// grid description it was taken over.
+/// The standard 64-bit FNV-1a offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// The standard 64-bit FNV-1a prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Streaming FNV-1a hasher — the engine's stable fingerprint primitive.
+///
+/// [`fingerprint`] and [`fingerprint_bytes`] are one-shot wrappers; the
+/// struct form exists so callers hashing composite keys (canonical
+/// request bytes, grid descriptions assembled from parts) can feed
+/// chunks without building an intermediate `String`.
+///
+/// # Examples
+///
+/// ```
+/// let mut h = sweep::Fnv1a::new();
+/// h.update(b"wer current=63uA ");
+/// h.update(b"pulses=6");
+/// assert_eq!(h.finish(), sweep::fingerprint("wer current=63uA pulses=6"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fnv1a {
+    hash: u64,
+}
+
+impl Fnv1a {
+    /// A hasher at the standard FNV-1a offset basis.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_basis(FNV_OFFSET)
+    }
+
+    /// A hasher starting from an arbitrary basis — distinct bases yield
+    /// independent hash streams over the same bytes, which is how
+    /// [`fingerprint128`] widens the digest.
+    #[must_use]
+    pub fn with_basis(basis: u64) -> Self {
+        Self { hash: basis }
+    }
+
+    /// Feeds `bytes` into the hash state.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.hash ^= u64::from(byte);
+            self.hash = self.hash.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// The current 64-bit digest. The hasher remains usable.
+    #[must_use]
+    pub fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// FNV-1a hash of a byte string, used to bind a
+/// [checkpoint](crate::checkpoint) to the grid description it was taken
+/// over.
 ///
 /// # Examples
 ///
@@ -53,12 +114,43 @@ pub fn point_seed(base_seed: u64, index: u64) -> u64 {
 /// ```
 #[must_use]
 pub fn fingerprint(description: &str) -> u64 {
-    let mut hash = 0xcbf2_9ce4_8422_2325u64;
-    for byte in description.bytes() {
-        hash ^= u64::from(byte);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
+    fingerprint_bytes(description.as_bytes())
+}
+
+/// FNV-1a hash over raw bytes — identical to [`fingerprint`] for UTF-8
+/// input, provided for callers keying on non-textual material.
+#[must_use]
+pub fn fingerprint_bytes(bytes: &[u8]) -> u64 {
+    let mut hasher = Fnv1a::new();
+    hasher.update(bytes);
+    hasher.finish()
+}
+
+/// 128-bit content fingerprint: two independent FNV-1a streams over the
+/// same bytes (the standard basis in the high half, a decorrelated
+/// basis in the low half). 64 bits is plenty for checkpoint tags, but a
+/// content-addressed cache lives or dies on collision resistance, so
+/// cache keys get the wide digest.
+///
+/// # Examples
+///
+/// ```
+/// let a = sweep::fingerprint128(b"{\"variant\":\"proposed\"}");
+/// assert_eq!(a, sweep::fingerprint128(b"{\"variant\":\"proposed\"}"));
+/// assert_ne!(a, sweep::fingerprint128(b"{\"variant\":\"standard\"}"));
+/// // High half is the plain 64-bit fingerprint.
+/// assert_eq!((a >> 64) as u64, sweep::fingerprint_bytes(b"{\"variant\":\"proposed\"}"));
+/// ```
+#[must_use]
+pub fn fingerprint128(bytes: &[u8]) -> u128 {
+    let mut high = Fnv1a::new();
+    high.update(bytes);
+    // The low half starts from the standard basis remixed by the
+    // SplitMix64 finalizer, giving an independent stream over the same
+    // bytes without inventing a second FNV constant.
+    let mut low = Fnv1a::with_basis(splitmix64_mix(FNV_OFFSET));
+    low.update(bytes);
+    (u128::from(high.finish()) << 64) | u128::from(low.finish())
 }
 
 /// An ordered list of job points with a base seed.
@@ -204,5 +296,31 @@ mod tests {
     fn fingerprint_discriminates() {
         assert_ne!(fingerprint("a"), fingerprint("b"));
         assert_ne!(fingerprint(""), fingerprint("a"));
+    }
+
+    #[test]
+    fn streaming_hasher_matches_one_shot_for_any_chunking() {
+        let text = "wer current=63uA pulses=6 trials=2000";
+        let expect = fingerprint(text);
+        for split in 0..=text.len() {
+            let mut h = Fnv1a::new();
+            h.update(&text.as_bytes()[..split]);
+            h.update(&text.as_bytes()[split..]);
+            assert_eq!(h.finish(), expect, "split at {split}");
+        }
+        assert_eq!(fingerprint_bytes(text.as_bytes()), expect);
+    }
+
+    #[test]
+    fn wide_fingerprint_halves_are_independent() {
+        let a = fingerprint128(b"request-a");
+        let b = fingerprint128(b"request-b");
+        assert_ne!(a, b);
+        assert_eq!((a >> 64) as u64, fingerprint_bytes(b"request-a"));
+        // The two halves must not be the same stream.
+        assert_ne!((a >> 64) as u64, a as u64);
+        // Empty input still yields a stable, nonzero digest.
+        assert_eq!(fingerprint128(b""), fingerprint128(b""));
+        assert_ne!(fingerprint128(b""), 0);
     }
 }

@@ -37,7 +37,7 @@ pub use cache::LazyPool;
 pub use checkpoint::{
     run_checkpointed, CheckpointError, CheckpointPolicy, JsonCodec, CHECKPOINT_SCHEMA,
 };
-pub use grid::{fingerprint, point_seed, Grid};
+pub use grid::{fingerprint, fingerprint128, fingerprint_bytes, point_seed, Fnv1a, Grid};
 pub use pool::{
     available_parallelism, run, run_with_state, JobCtx, Progress, RunSummary, SweepOptions,
     SweepOutcome,

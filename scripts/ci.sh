@@ -160,6 +160,58 @@ if ! diff -u "$dense_out" "$sparse_out"; then
     exit 1
 fi
 
+echo "==> service smoke: nvff-serve, cached characterization round trip"
+# The characterization service end to end over a real socket: boot
+# nvff-serve on an OS-assigned port, post the same request twice, and
+# require (a) byte-identical response bodies — the content-addressed
+# cache contract — and (b) the serve.cache.hits counter advancing in
+# /metrics between the two calls. Same zero-dependency client as the
+# metrics smoke (the serve crate's scrape example grows a POST mode).
+ch_addr_file="target/ci_chserve_addr"
+ch_request="target/ci_chserve_request.json"
+ch_first="target/ci_chserve_first.json"
+ch_second="target/ci_chserve_second.json"
+ch_metrics="target/ci_chserve_metrics.txt"
+rm -f "$ch_addr_file"
+cargo build --offline -q -p serve --bin nvff-serve --example scrape
+printf '{"variant": "standard", "analysis": "read"}\n' > "$ch_request"
+cargo run --offline -q -p serve --bin nvff-serve -- 127.0.0.1:0 \
+    --addr-file "$ch_addr_file" >/dev/null 2>&1 &
+ch_pid=$!
+for _ in $(seq 1 300); do
+    [ -s "$ch_addr_file" ] && break
+    sleep 0.1
+done
+[ -s "$ch_addr_file" ] || {
+    echo "nvff-serve never wrote its bound address" >&2
+    kill "$ch_pid" 2>/dev/null || true
+    exit 1
+}
+ch_addr="$(cat "$ch_addr_file")"
+cargo run --offline -q -p serve --example scrape -- "$ch_addr" /v1/characterize "$ch_request" \
+    > "$ch_first"
+hits_before="$(cargo run --offline -q -p serve --example scrape -- "$ch_addr" /metrics \
+    | awk '/^nvff_serve_cache_hits_total /{print $2}')"
+cargo run --offline -q -p serve --example scrape -- "$ch_addr" /v1/characterize "$ch_request" \
+    > "$ch_second"
+hits_after="$(cargo run --offline -q -p serve --example scrape -- "$ch_addr" /metrics \
+    > "$ch_metrics"; awk '/^nvff_serve_cache_hits_total /{print $2}' "$ch_metrics")"
+cargo run --offline -q -p serve --example scrape -- "$ch_addr" /quitquitquit >/dev/null
+wait "$ch_pid"
+if ! cmp -s "$ch_first" "$ch_second"; then
+    echo "cached characterization response is not byte-identical to the first" >&2
+    diff "$ch_first" "$ch_second" >&2 || true
+    exit 1
+fi
+grep -q '"schema":"nvff-characterize/1"' "$ch_first" || {
+    echo "characterize response is missing the schema marker" >&2
+    exit 1
+}
+[ "${hits_after:-0}" -gt "${hits_before:-0}" ] || {
+    echo "serve.cache.hits did not advance across the repeated request" >&2
+    exit 1
+}
+
 echo "==> step-control smoke: table2 --quick, adaptive vs fixed agreement"
 # The LTE-controlled default and the legacy uniform grid must report the
 # same physics on the quick characterization. Waveform-derived numbers
@@ -209,5 +261,11 @@ echo "==> step-control bench: adaptive_transient recorded in BENCH_report.json"
 cargo run --offline -q --release -p nvff-bench --bin report -- --json target/BENCH_report.json \
     >/dev/null
 cargo run --offline -q -p telemetry --example validate -- target/BENCH_report.json
+# The report also drives the characterization service over loopback;
+# its section must record the cold/warm/coalesced phases.
+grep -q '"warm_over_cold"' target/BENCH_report.json || {
+    echo "BENCH report is missing the chserve section" >&2
+    exit 1
+}
 
 echo "==> tier-1 gate passed"
