@@ -7,16 +7,16 @@
 //!   cross-checked by a parallel Monte-Carlo campaign;
 //! * retention and latch function across temperature.
 //!
-//! Usage: `margins [--jobs <N>] [--checkpoint <path>]`. `--jobs` sets
-//! the Monte-Carlo worker count (`0`/absent = auto, `1` = serial);
+//! Usage: `margins [--jobs <N>] [--lanes <L>] [--checkpoint <path>]`.
+//! `--jobs` sets the Monte-Carlo worker count (`0`/absent = auto, `1` =
+//! serial); `--lanes` sets the SIMD lane count of the batched WER
+//! kernel (`0`/absent = auto, `1` = the scalar reference kernel);
 //! `--checkpoint` persists completed WER grid points to the given file,
 //! so an interrupted campaign resumes — bit-identically — where it
 //! stopped. Printed figures are identical for every mode.
 
 use cells::{margin, LatchConfig, ProposedLatch};
 use mtj::{wer, MtjParams, SwitchingModel, ThermalModel};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use units::{Current, Temperature, Time};
 
 /// Extracts the `--checkpoint <path>` argument, if present.
@@ -103,6 +103,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // makes the counts identical for every --jobs value, and identical
     // again when resumed from a --checkpoint file.
     let jobs = nvff_bench::jobs_from_args();
+    let lanes = nvff_bench::lanes_from_args();
     let trials = 2000;
     let mc_seed = 2018u64;
     let points: Vec<(Current, Time)> = pulses[..4].iter().map(|&p| (drive, p)).collect();
@@ -125,8 +126,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             &policy,
             |_| (),
             |(), ctx, &(current, pulse)| {
-                let mut rng = StdRng::seed_from_u64(ctx.seed);
-                wer::count_write_failures(&nominal, current, pulse, trials, &mut rng) as u64
+                mtj::lanes::count_write_failures_batched(
+                    &nominal, current, pulse, trials, ctx.seed, lanes,
+                ) as u64
             },
             None,
         )?;
@@ -138,7 +140,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
         outcome.results
     } else {
-        let (estimates, _) = wer::monte_carlo_wer_grid(&nominal, &points, trials, mc_seed, jobs);
+        let opts = wer::WerGridOptions {
+            trials,
+            seed: mc_seed,
+            jobs,
+            lanes,
+        };
+        let (estimates, _) = wer::monte_carlo_wer_grid_with(&nominal, &points, &opts);
         estimates.iter().map(|e| e.failures as u64).collect()
     };
     for (&(_, pulse), &fails) in points.iter().zip(&failures) {

@@ -1,0 +1,92 @@
+//! Lane-batched Monte-Carlo benchmark driver.
+//!
+//! Usage: `simd_mc [--jobs <N>] [--lanes <L>] [--trials <T>] [--json
+//! <path>] [--check]`.
+//!
+//! Default mode times the WER grid under the four engine configurations
+//! (scalar serial, threads only, lanes serial, lanes × threads) and
+//! prints the comparison; with `--json` it also writes the run report
+//! whose `simd_mc` section backs the committed `BENCH_report.json`
+//! baseline.
+//!
+//! `--check` runs the differential suite instead: the grid's failure
+//! counts for every supported lane width × worker count combination
+//! must equal the scalar serial reference *exactly*; any divergence is
+//! printed and the process exits nonzero. This is the mode `ci.sh`
+//! runs.
+
+use nvff_bench::simd_mc;
+
+/// Extracts `--trials <T>` from the command line (`0`/absent = the
+/// benchmark default).
+fn trials_from_args() -> usize {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let value = if a == "--trials" {
+            args.next()
+        } else {
+            a.strip_prefix("--trials=").map(str::to_owned)
+        };
+        if let Some(v) = value {
+            match v.trim().parse::<usize>() {
+                Ok(n) => return n,
+                Err(_) => {
+                    eprintln!("warning: ignoring unparsable --trials value {v:?}");
+                    return 0;
+                }
+            }
+        }
+    }
+    0
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    telemetry::init_from_env();
+    if std::env::args().skip(1).any(|a| a == "--check") {
+        let trials = match trials_from_args() {
+            0 => 200,
+            t => t,
+        };
+        println!(
+            "differential check: {} lane widths x 2 worker counts, {trials} trials/point",
+            mtj::lanes::SUPPORTED_LANE_COUNTS.len()
+        );
+        let mismatches = simd_mc::check(trials, 2018, 3);
+        if mismatches.is_empty() {
+            println!("ok: every lane/jobs combination is bit-identical to scalar serial");
+            return Ok(());
+        }
+        for m in &mismatches {
+            eprintln!("MISMATCH {m}");
+        }
+        return Err(format!("{} lane/jobs combinations diverged", mismatches.len()).into());
+    }
+
+    let json_path = nvff_bench::json_path_from_args();
+    if json_path.is_some() {
+        telemetry::ensure_collecting();
+    }
+    let mut opts = simd_mc::SimdMcOptions {
+        jobs: nvff_bench::jobs_from_args(),
+        lanes: nvff_bench::lanes_from_args(),
+        ..simd_mc::SimdMcOptions::default()
+    };
+    if trials_from_args() > 0 {
+        opts.trials = trials_from_args();
+    }
+    let mut run = telemetry::RunReport::new("simd_mc");
+    let span = telemetry::span("simd_mc");
+    let report = simd_mc::run(&opts);
+    drop(span);
+    print!("{}", report.markdown());
+    if !report.bit_identical {
+        return Err("lane-batched results diverged from the scalar reference".into());
+    }
+    run.add(report.section());
+    let snap = telemetry::finish();
+    if let Some(path) = json_path {
+        run.write(&path, &snap)?;
+        println!("run report written to {}", path.display());
+    }
+    Ok(())
+}

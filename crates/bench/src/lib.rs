@@ -16,6 +16,7 @@
 #![warn(missing_docs)]
 
 pub mod chserve;
+pub mod simd_mc;
 
 /// Extracts the `--json <path>` argument from the process command line
 /// (the machine-readable run-report mode shared by the bench binaries).
@@ -64,6 +65,37 @@ pub fn jobs_from_args() -> usize {
         };
         return value.and_then(|v| v.parse().ok()).unwrap_or_else(|| {
             eprintln!("warning: --jobs expects an integer; using auto");
+            0
+        });
+    }
+    0
+}
+
+/// Extracts the `--lanes <L>` argument from the process command line —
+/// the SIMD lane count of the lane-batched Monte-Carlo kernels.
+/// Returns `0` (auto: `NVFF_LANES` or the built-in default) when
+/// absent; `--lanes 1` selects the scalar reference kernel. The lane
+/// count never changes results, only throughput.
+///
+/// # Examples
+///
+/// ```
+/// // No --lanes flag in the test harness's own argv → auto.
+/// assert_eq!(nvff_bench::lanes_from_args(), 0);
+/// ```
+#[must_use]
+pub fn lanes_from_args() -> usize {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let value = if a == "--lanes" {
+            args.next()
+        } else if let Some(v) = a.strip_prefix("--lanes=") {
+            Some(v.to_owned())
+        } else {
+            continue;
+        };
+        return value.and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+            eprintln!("warning: --lanes expects an integer; using auto");
             0
         });
     }

@@ -27,7 +27,11 @@
 //!   progress under a time-varying current, which is what the transient
 //!   circuit simulator steps;
 //! * [`variation`] / [`montecarlo`] — ±3σ process variation on RA, TMR and
-//!   switching current, matching the paper's corner methodology.
+//!   switching current, matching the paper's corner methodology;
+//! * [`wer`] / [`lanes`] — stochastic write-error-rate kernels: a
+//!   counter-seeded scalar reference and a lane-batched
+//!   structure-of-arrays engine returning bit-identical counts at SIMD
+//!   throughput.
 //!
 //! # Examples
 //!
@@ -45,6 +49,7 @@
 #![warn(missing_docs)]
 
 pub mod device;
+pub mod lanes;
 pub mod montecarlo;
 pub mod params;
 pub mod resistance;

@@ -6,7 +6,17 @@
 //! ("reliable back-up"); this module quantifies that margin — the WER
 //! as a function of pulse width and drive, and the inverse problem of
 //! choosing a pulse for a target error rate.
+//!
+//! The Monte-Carlo kernel is **counter-seeded per trial**: trial `t` of
+//! a campaign draws from a private `StdRng` seeded by
+//! [`sweep::point_seed`]`(seed, t)`, and every trial integrates a
+//! deterministic **integer** number of steps ([`trial_step_plan`]).
+//! Together these make any trial computable independently of every
+//! other — which is what lets the lane-batched engine in
+//! [`crate::lanes`] run trials in lockstep and still return results
+//! bit-identical to this scalar path.
 
+use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use units::{Current, Time};
 
@@ -38,10 +48,17 @@ pub fn write_error_rate(model: &SwitchingModel, current: Current, pulse: Time) -
 
 /// WER of a complementary-pair store: both devices of the pair must
 /// reverse (worst-case data), so the pair fails if either does.
+///
+/// With single-device failure probability `s` the pair fails with
+/// probability `1 − (1 − s)²`, computed here in the algebraically
+/// equivalent form `s·(2 − s)`. The naive form cancels catastrophically
+/// in the tail (`s ≲ 1e-16` rounds `1 − s` to exactly `1.0`, reporting
+/// a zero pair WER) — and the tail is precisely the rare-event regime
+/// reliability studies target.
 #[must_use]
 pub fn pair_write_error_rate(model: &SwitchingModel, current: Current, pulse: Time) -> f64 {
     let single = write_error_rate(model, current, pulse);
-    1.0 - (1.0 - single) * (1.0 - single)
+    single * (2.0 - single)
 }
 
 /// The shortest pulse meeting a target WER at the given drive:
@@ -60,29 +77,123 @@ pub fn pulse_for_wer(model: &SwitchingModel, current: Current, target_wer: f64) 
     Time::from_seconds(tau * (1.0 / target_wer).ln())
 }
 
+/// Nominal integration steps per stochastic write trial.
+pub const TRIAL_STEPS: usize = 64;
+
+/// Floor on the integration step — trials never step finer than 1 ps.
+const MIN_STEP_SECONDS: f64 = 1e-12;
+
+/// The integration plan of one stochastic write trial: the integer step
+/// count and the uniform step width covering `pulse`.
+///
+/// A trial takes exactly [`TRIAL_STEPS`] steps of `pulse / TRIAL_STEPS`
+/// whenever that step clears the 1 ps floor; shorter pulses fall back
+/// to 1 ps steps, `⌈pulse / 1 ps⌉` of them. The count is computed by
+/// integer arithmetic on the *ratio* — never by accumulating the step
+/// in floating point and comparing against the pulse, which made the
+/// per-trial draw count depend on the rounding of the pulse magnitude.
+/// Rescaling a (floor-clear) pulse therefore never changes how many
+/// RNG draws a trial consumes — the invariance the lane-batched versus
+/// scalar differential tests rest on.
+///
+/// # Examples
+///
+/// ```
+/// use mtj::wer::{trial_step_plan, TRIAL_STEPS};
+/// use units::Time;
+///
+/// let (steps, step) = trial_step_plan(Time::from_nano_seconds(2.0));
+/// assert_eq!(steps, TRIAL_STEPS);
+/// assert!((step.seconds() * TRIAL_STEPS as f64 - 2.0e-9).abs() < 1e-21);
+///
+/// // A 10 ps pulse hits the 1 ps floor: 10 steps of 1 ps.
+/// let (steps, step) = trial_step_plan(Time::from_pico_seconds(10.0));
+/// assert_eq!(steps, 10);
+/// assert_eq!(step.seconds(), 1e-12);
+/// ```
+#[must_use]
+pub fn trial_step_plan(pulse: Time) -> (usize, Time) {
+    let nominal = pulse.seconds() / TRIAL_STEPS as f64;
+    if nominal >= MIN_STEP_SECONDS {
+        (TRIAL_STEPS, Time::from_seconds(nominal))
+    } else {
+        let steps = (pulse.seconds().max(0.0) / MIN_STEP_SECONDS).ceil() as usize;
+        (steps, Time::from_seconds(MIN_STEP_SECONDS))
+    }
+}
+
+/// Outcome of one stochastic write trial — see [`write_trial`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteTrial {
+    /// Whether the free layer was still un-reversed when the pulse
+    /// ended.
+    pub failed: bool,
+    /// RNG draws the trial consumed: one per executed step, zero when
+    /// the drive exerts no switching torque.
+    pub draws: usize,
+}
+
+/// Runs one stochastic write trial — a `Parallel` device driven toward
+/// `AntiParallel` for `pulse` — stepping per [`trial_step_plan`] and
+/// drawing one uniform per step from `rng` until the device reverses
+/// or the pulse ends.
+///
+/// This is the scalar reference the lane-batched kernel
+/// ([`crate::lanes`]) is differentially tested against; it is public so
+/// property tests can pin its draw accounting directly.
+pub fn write_trial<R: Rng + ?Sized>(
+    params: &MtjParams,
+    current: Current,
+    pulse: Time,
+    rng: &mut R,
+) -> WriteTrial {
+    let mut device = Mtj::new(
+        params.clone(),
+        MtjState::Parallel,
+        WritePolarity::PositiveSetsAntiParallel,
+    );
+    if device.polarity().target_state(current) != Some(MtjState::AntiParallel) {
+        // Zero or reverse drive exerts no torque toward a reversal:
+        // the trial fails without consuming a draw.
+        return WriteTrial {
+            failed: true,
+            draws: 0,
+        };
+    }
+    let (steps, step) = trial_step_plan(pulse);
+    let mut draws = 0usize;
+    for _ in 0..steps {
+        draws += 1;
+        if device.advance_stochastic(current, step, rng) {
+            break;
+        }
+    }
+    WriteTrial {
+        failed: device.state() == MtjState::Parallel,
+        draws,
+    }
+}
+
 /// Counts stochastic write failures over `trials` attempted writes —
 /// the kernel shared by [`monte_carlo_wer`] and the grid runner.
-pub fn count_write_failures<R: Rng + ?Sized>(
+///
+/// Trial `t` draws from a private `StdRng` seeded by
+/// [`sweep::point_seed`]`(seed, t)`, so any trial's outcome is
+/// independent of every other trial and of the batching strategy:
+/// [`crate::lanes::count_write_failures_batched`] returns bit-identical
+/// counts for every lane count.
+#[must_use]
+pub fn count_write_failures(
     params: &MtjParams,
     current: Current,
     pulse: Time,
     trials: usize,
-    rng: &mut R,
+    seed: u64,
 ) -> usize {
-    let step = Time::from_seconds((pulse.seconds() / 64.0).max(1e-12));
     let mut failures = 0usize;
-    for _ in 0..trials {
-        let mut device = Mtj::new(
-            params.clone(),
-            MtjState::Parallel,
-            WritePolarity::PositiveSetsAntiParallel,
-        );
-        let mut elapsed = Time::ZERO;
-        while elapsed < pulse && device.state() == MtjState::Parallel {
-            device.advance_stochastic(current, step, rng);
-            elapsed += step;
-        }
-        if device.state() == MtjState::Parallel {
+    for t in 0..trials {
+        let mut rng = StdRng::seed_from_u64(sweep::point_seed(seed, t as u64));
+        if write_trial(params, current, pulse, &mut rng).failed {
             failures += 1;
         }
     }
@@ -91,14 +202,15 @@ pub fn count_write_failures<R: Rng + ?Sized>(
 
 /// Monte-Carlo estimate of the single-device WER by repeated stochastic
 /// writes — the empirical cross-check of the analytic rate.
-pub fn monte_carlo_wer<R: Rng + ?Sized>(
+#[must_use]
+pub fn monte_carlo_wer(
     params: &MtjParams,
     current: Current,
     pulse: Time,
     trials: usize,
-    rng: &mut R,
+    seed: u64,
 ) -> f64 {
-    count_write_failures(params, current, pulse, trials, rng) as f64 / trials as f64
+    count_write_failures(params, current, pulse, trials, seed) as f64 / trials as f64
 }
 
 /// One Monte-Carlo WER estimate at a `(current, pulse)` grid point.
@@ -116,25 +228,81 @@ pub struct WerEstimate {
 
 impl WerEstimate {
     /// The estimated write error rate, `failures / trials`.
+    ///
+    /// A zero-trial estimate carries no information, so it returns
+    /// `NaN` — silently reporting `0.0` would claim perfect
+    /// reliability from an empty campaign.
     #[must_use]
     pub fn wer(&self) -> f64 {
         if self.trials == 0 {
-            0.0
+            f64::NAN
         } else {
             self.failures as f64 / self.trials as f64
         }
     }
 }
 
+/// Options for [`monte_carlo_wer_grid_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WerGridOptions {
+    /// Attempted writes per grid point.
+    pub trials: usize,
+    /// Base seed of the campaign.
+    pub seed: u64,
+    /// Worker count (`0` = auto, `1` = serial on the calling thread).
+    pub jobs: usize,
+    /// SIMD lane count of the batched kernel (`0` = auto: `NVFF_LANES`
+    /// or the built-in default, `1` = the scalar reference kernel).
+    /// Results are bit-identical for every value.
+    pub lanes: usize,
+}
+
+impl Default for WerGridOptions {
+    fn default() -> Self {
+        Self {
+            trials: 1000,
+            seed: 0,
+            jobs: 0,
+            lanes: 0,
+        }
+    }
+}
+
 /// Monte-Carlo WER over a `(current, pulse)` grid, fanned out over a
-/// [`sweep`] worker pool.
+/// [`sweep`] worker pool with the lane-batched kernel inside each
+/// worker (lanes × workers composed).
 ///
-/// Each grid point runs its `trials` stochastic writes with a private
-/// `StdRng` seeded from the point's counter-derived
-/// [`sweep::point_seed`], so the returned estimates are
-/// **bit-identical for every `jobs` value** (`0` = auto, `1` = serial).
-/// Results come back in grid order alongside the pool's
-/// [`sweep::RunSummary`].
+/// Each grid point runs its `trials` stochastic writes with per-trial
+/// counter-derived seeds rooted at the point's [`sweep::point_seed`],
+/// so the returned estimates are **bit-identical for every
+/// `jobs` value and every `lanes` value**. Results come back in grid
+/// order alongside the pool's [`sweep::RunSummary`].
+pub fn monte_carlo_wer_grid_with(
+    params: &MtjParams,
+    points: &[(Current, Time)],
+    opts: &WerGridOptions,
+) -> (Vec<WerEstimate>, sweep::RunSummary) {
+    let grid = sweep::Grid::with_seed(points.to_vec(), opts.seed);
+    let pool = sweep::SweepOptions {
+        jobs: opts.jobs,
+        span_label: "mtj.wer_point",
+        ..sweep::SweepOptions::default()
+    };
+    let trials = opts.trials;
+    let lanes = opts.lanes;
+    let outcome = sweep::run(&grid, &pool, |ctx, &(current, pulse)| WerEstimate {
+        current,
+        pulse,
+        trials,
+        failures: crate::lanes::count_write_failures_batched(
+            params, current, pulse, trials, ctx.seed, lanes,
+        ),
+    });
+    (outcome.results, outcome.summary)
+}
+
+/// Monte-Carlo WER over a `(current, pulse)` grid — the auto-lane form
+/// of [`monte_carlo_wer_grid_with`].
 ///
 /// # Examples
 ///
@@ -157,22 +325,16 @@ pub fn monte_carlo_wer_grid(
     seed: u64,
     jobs: usize,
 ) -> (Vec<WerEstimate>, sweep::RunSummary) {
-    let grid = sweep::Grid::with_seed(points.to_vec(), seed);
-    let opts = sweep::SweepOptions {
-        jobs,
-        span_label: "mtj.wer_point",
-        ..sweep::SweepOptions::default()
-    };
-    let outcome = sweep::run(&grid, &opts, |ctx, &(current, pulse)| {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(ctx.seed);
-        WerEstimate {
-            current,
-            pulse,
+    monte_carlo_wer_grid_with(
+        params,
+        points,
+        &WerGridOptions {
             trials,
-            failures: count_write_failures(params, current, pulse, trials, &mut rng),
-        }
-    });
-    (outcome.results, outcome.summary)
+            seed,
+            jobs,
+            lanes: 0,
+        },
+    )
 }
 
 /// One row of a WER-vs-pulse characterization sweep.
@@ -202,8 +364,6 @@ pub fn sweep(model: &SwitchingModel, current: Current, pulses: &[Time]) -> Vec<W
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn setup() -> (MtjParams, SwitchingModel) {
         let p = MtjParams::date2018();
@@ -234,6 +394,33 @@ mod tests {
     }
 
     #[test]
+    fn pair_wer_survives_the_tail_regime() {
+        // Regression: the naive 1 − (1 − s)² rounds to 0 once
+        // s < 2⁻⁵³ ≈ 1.1e-16 (1 − s collapses to exactly 1.0). The
+        // rewritten s·(2 − s) keeps full relative precision: in the
+        // tail the pair WER is 2s to within one part in 1e16.
+        let (p, m) = setup();
+        let i = p.nominal_write_current();
+        for target in [1e-15, 1e-18, 1e-21] {
+            let pulse = pulse_for_wer(&m, i, target);
+            let single = write_error_rate(&m, i, pulse);
+            assert!(single > 0.0 && single < 2e-15, "single = {single}");
+            let pair = pair_write_error_rate(&m, i, pulse);
+            assert!(pair > 0.0, "tail pair WER must not round to zero");
+            assert!(
+                (pair / (2.0 * single) - 1.0).abs() < 1e-12,
+                "pair {pair} vs 2·single {}",
+                2.0 * single
+            );
+            // The naive form loses the value entirely down here.
+            let naive = 1.0 - (1.0 - single) * (1.0 - single);
+            if single < 5e-17 {
+                assert_eq!(naive, 0.0, "tail premise: naive form cancels");
+            }
+        }
+    }
+
+    #[test]
     fn pulse_for_wer_inverts_the_rate() {
         let (p, m) = setup();
         let i = p.nominal_write_current();
@@ -256,17 +443,91 @@ mod tests {
     }
 
     #[test]
+    fn step_plan_is_pulse_scale_invariant_above_the_floor() {
+        // The committed regression for the float-accumulation bug: the
+        // per-trial step count must not depend on the magnitude of the
+        // pulse. (The old `elapsed += step; elapsed < pulse` loop took
+        // 64 or 65 draws depending on rounding.)
+        for exponent in -10..=-4 {
+            for mantissa in [1.0, 1.3, 2.0, 3.7, 5.0, 7.77, 9.99] {
+                let pulse = Time::from_seconds(mantissa * 10f64.powi(exponent));
+                let (steps, step) = trial_step_plan(pulse);
+                assert_eq!(steps, TRIAL_STEPS, "pulse {pulse}");
+                assert!(
+                    (step.seconds() * TRIAL_STEPS as f64 / pulse.seconds() - 1.0).abs() < 1e-12
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn step_plan_floors_at_one_picosecond() {
+        let (steps, step) = trial_step_plan(Time::from_pico_seconds(3.0));
+        assert_eq!(steps, 3);
+        assert_eq!(step.seconds(), 1e-12);
+        let (steps, step) = trial_step_plan(Time::from_pico_seconds(2.5));
+        assert_eq!(steps, 3); // ceil covers the whole pulse
+        assert_eq!(step.seconds(), 1e-12);
+        let (steps, _) = trial_step_plan(Time::ZERO);
+        assert_eq!(steps, 0);
+    }
+
+    #[test]
+    fn write_trial_accounts_its_draws() {
+        let (p, _) = setup();
+        let i = p.nominal_write_current();
+        // A far-sub-critical drive (τ astronomically long): the trial
+        // runs — and draws on — all 64 steps, then fails.
+        let mut rng = StdRng::seed_from_u64(3);
+        let trial = write_trial(
+            &p,
+            Current::from_micro_amps(1.0),
+            Time::from_nano_seconds(2.0),
+            &mut rng,
+        );
+        assert!(trial.failed);
+        assert_eq!(trial.draws, TRIAL_STEPS);
+        // Zero drive exerts no torque: failure with zero draws.
+        let mut rng = StdRng::seed_from_u64(3);
+        let trial = write_trial(&p, Current::ZERO, Time::from_nano_seconds(2.0), &mut rng);
+        assert!(trial.failed);
+        assert_eq!(trial.draws, 0);
+        // Reverse drive stabilises Parallel: same.
+        let mut rng = StdRng::seed_from_u64(3);
+        let trial = write_trial(&p, -i, Time::from_nano_seconds(2.0), &mut rng);
+        assert!(trial.failed);
+        assert_eq!(trial.draws, 0);
+    }
+
+    #[test]
     fn monte_carlo_agrees_with_analytic() {
         let (p, m) = setup();
         let i = p.nominal_write_current();
         let pulse = m.mean_switching_time(i); // WER = e⁻¹ ≈ 0.368
-        let mut rng = StdRng::seed_from_u64(17);
-        let empirical = monte_carlo_wer(&p, i, pulse, 2000, &mut rng);
+        let empirical = monte_carlo_wer(&p, i, pulse, 2000, 17);
         let analytic = write_error_rate(&m, i, pulse);
         assert!(
             (empirical - analytic).abs() < 0.04,
             "empirical {empirical} vs analytic {analytic}"
         );
+    }
+
+    #[test]
+    fn trial_outcomes_are_independent_of_campaign_size() {
+        // Counter seeding: shrinking the campaign must not change the
+        // trials that remain.
+        let (p, m) = setup();
+        let i = p.nominal_write_current();
+        let pulse = m.mean_switching_time(i);
+        let long = count_write_failures(&p, i, pulse, 500, 23);
+        let short = count_write_failures(&p, i, pulse, 200, 23);
+        let tail: usize = (200..500)
+            .map(|t| {
+                let mut rng = StdRng::seed_from_u64(sweep::point_seed(23, t as u64));
+                usize::from(write_trial(&p, i, pulse, &mut rng).failed)
+            })
+            .sum();
+        assert_eq!(long, short + tail);
     }
 
     #[test]
@@ -297,12 +558,20 @@ mod tests {
             failures: 50,
         };
         assert!((est.wer() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_trial_estimate_is_nan_not_perfect() {
+        // Regression: an empty campaign used to report WER = 0.0 —
+        // perfect reliability from zero evidence.
+        let (p, _) = setup();
         let empty = WerEstimate {
+            current: p.nominal_write_current(),
+            pulse: Time::from_nano_seconds(2.0),
             trials: 0,
             failures: 0,
-            ..est
         };
-        assert_eq!(empty.wer(), 0.0);
+        assert!(empty.wer().is_nan());
     }
 
     #[test]

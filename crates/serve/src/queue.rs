@@ -580,17 +580,24 @@ mod tests {
             std::thread::spawn(move || queue.submit(job(100, 100, "gate")))
         };
         started.wait();
-        // Interleave topologies 7 and 8 in the queue.
+        // Interleave topologies 7 and 8 in the queue. The batch-order
+        // assertion below needs the enqueue order to match the key
+        // order, so wait for each submission to join the backlog before
+        // spawning the next (the submitter threads themselves race).
         let submitters: Vec<_> = [(1u128, 7u128), (2, 8), (3, 7), (4, 8), (5, 7)]
             .into_iter()
-            .map(|(key, topo)| {
-                let queue = Arc::clone(&queue);
-                std::thread::spawn(move || queue.submit(job(key, topo, &format!("t{topo}k{key}"))))
+            .enumerate()
+            .map(|(i, (key, topo))| {
+                let queue_for_job = Arc::clone(&queue);
+                let handle = std::thread::spawn(move || {
+                    queue_for_job.submit(job(key, topo, &format!("t{topo}k{key}")))
+                });
+                while queue.backlog() != i + 1 {
+                    std::thread::yield_now();
+                }
+                handle
             })
             .collect();
-        while queue.backlog() != 5 {
-            std::thread::yield_now();
-        }
         gate.wait();
         for s in submitters {
             assert!(matches!(s.join().unwrap(), SubmitOutcome::Computed(_)));

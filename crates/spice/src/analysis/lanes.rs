@@ -1,0 +1,562 @@
+//! Masked lane-batched Newton and transient stepping over the
+//! lane-replicated sparse LU.
+//!
+//! The scalar solver pipeline is assemble → factor → solve → damped
+//! update → convergence test. This module runs that pipeline for
+//! `LANES` parameter samples in lockstep: one `[f64; LANES]` block per
+//! structural nonzero and per unknown, one symbolic factorization for
+//! the whole batch ([`SymbolicLuLanes`]), and **per-lane masks** where
+//! the scalar path has booleans:
+//!
+//! * a lane that converges stops receiving updates (its iterate is
+//!   frozen at exactly the value the scalar Newton would have returned)
+//!   while slower lanes keep iterating;
+//! * a lane whose pivots decay or whose solution goes non-finite is
+//!   marked failed and masked out, without disturbing the arithmetic of
+//!   healthy lanes;
+//! * in the transient driver, a lane that reaches its own stop step
+//!   retires — its solution freezes — while longer-running lanes
+//!   continue.
+//!
+//! Assembly stays with the caller as a closure over the lane value
+//! blocks (stamp with [`SparsePattern::add_into_all`] for shared
+//! topology and [`SparsePattern::add_into_lane`] for the per-lane
+//! devices), which keeps this module independent of any particular
+//! device set.
+//!
+//! # Numeric contract
+//!
+//! For a given lane, the iterate sequence — damping clamp, tolerance
+//! split at `n_nodes`, update application — reproduces the scalar
+//! Newton core ([`super::newton`]) operation for operation. The
+//! differential tests pin lane-count invariance: lane `l` of a
+//! `LANES`-wide run is bit-identical to the same problem run at
+//! `LANES = 1`.
+
+use crate::linalg::lanes::{all_lanes, SymbolicLuLanes};
+use crate::linalg::SparsePattern;
+
+use super::{ABSTOL, RELTOL, VNTOL, VSTEP_MAX};
+
+/// Options shared by [`newton_lanes`] and [`transient_lanes`].
+#[derive(Debug, Clone, Copy)]
+pub struct LaneNewtonOptions {
+    /// Unknowns `0..n_nodes` are node voltages: their updates are
+    /// clamped to the scalar engine's per-iteration voltage step and
+    /// tested against the voltage tolerances; the rest are branch
+    /// currents under the current tolerances.
+    pub n_nodes: usize,
+    /// Lockstep iteration budget per Newton solve.
+    pub max_iter: usize,
+}
+
+impl Default for LaneNewtonOptions {
+    /// All unknowns treated as node voltages, with the transient
+    /// engine's default iteration budget.
+    fn default() -> Self {
+        Self {
+            n_nodes: usize::MAX,
+            max_iter: 200,
+        }
+    }
+}
+
+/// Per-lane outcome of a [`newton_lanes`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaneNewtonReport {
+    /// Lanes that met the convergence test within the iteration budget.
+    pub converged: u64,
+    /// Lanes dropped by the linear solver (decayed pivot, non-finite
+    /// solution, or a batch-wide singularity). Disjoint from
+    /// `converged`; lanes in neither mask ran out of iterations.
+    pub failed: u64,
+    /// Lockstep iterations performed (shared by all lanes).
+    pub iterations: usize,
+}
+
+/// Reusable lane-replicated buffers for [`newton_lanes`] /
+/// [`transient_lanes`]: the iterate, the assembly targets, and the
+/// symbolic LU engine. After warm-up no call allocates.
+#[derive(Debug, Clone, Default)]
+pub struct LaneWorkspace<const LANES: usize> {
+    /// The iterate: one solution per lane per unknown. Seed it with the
+    /// initial condition before the first call; on return it holds each
+    /// lane's final (frozen-at-convergence or frozen-at-retirement)
+    /// solution.
+    pub x: Vec<[f64; LANES]>,
+    values: Vec<[f64; LANES]>,
+    z: Vec<[f64; LANES]>,
+    x_new: Vec<[f64; LANES]>,
+    engine: SymbolicLuLanes<LANES>,
+}
+
+impl<const LANES: usize> LaneWorkspace<LANES> {
+    /// Creates an empty workspace; buffers grow on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `LANES` is 0 or exceeds 64 (masks are `u64`).
+    #[must_use]
+    pub fn new() -> Self {
+        assert!(
+            (1..=64).contains(&LANES),
+            "lane count {LANES} outside 1..=64"
+        );
+        Self::default()
+    }
+
+    /// Drops the engine's frozen pivot order (pattern change).
+    pub fn invalidate(&mut self) {
+        self.engine.invalidate();
+    }
+}
+
+/// Masked lane-batched Newton solve: iterates `ws.x` in place for every
+/// lane in `active`, in lockstep, until each lane individually
+/// converges, fails, or the iteration budget runs out.
+///
+/// `assemble` is called once per lockstep iteration with the current
+/// iterate and zeroed `(values, z)` lane blocks laid out per `pattern`;
+/// it must stamp the linearized system `J·x_new = z` for every lane
+/// (converged lanes included — their entries are simply never applied).
+///
+/// Lanes outside `active` are untouched: not assembled *into* `ws.x`,
+/// not updated, not reported.
+pub fn newton_lanes<const LANES: usize>(
+    pattern: &SparsePattern,
+    ws: &mut LaneWorkspace<LANES>,
+    opts: &LaneNewtonOptions,
+    active: u64,
+    mut assemble: impl FnMut(&[[f64; LANES]], &mut [[f64; LANES]], &mut [[f64; LANES]]),
+) -> LaneNewtonReport {
+    let n = pattern.dim();
+    let LaneWorkspace {
+        x,
+        values,
+        z,
+        x_new,
+        engine,
+    } = ws;
+    assert_eq!(x.len(), n, "iterate length mismatch");
+    values.resize(pattern.nnz(), [0.0; LANES]);
+    z.resize(n, [0.0; LANES]);
+
+    let mut pending = active & all_lanes(LANES);
+    let mut converged = 0u64;
+    let mut failed = 0u64;
+    let mut iterations = 0usize;
+    while pending != 0 && iterations < opts.max_iter {
+        iterations += 1;
+        for v in values.iter_mut() {
+            *v = [0.0; LANES];
+        }
+        for zi in z.iter_mut() {
+            *zi = [0.0; LANES];
+        }
+        assemble(x, values, z);
+        let Some(report) = engine.factor_and_solve(pattern, values, z, x_new) else {
+            // Reference lane singular at build time: the whole batch is
+            // unsolvable this iteration.
+            failed |= pending;
+            break;
+        };
+        failed |= pending & !report.ok;
+        pending &= report.ok;
+        // Damped update + convergence test, the scalar sequence per
+        // lane: clamp node-voltage deltas, apply, and a lane converges
+        // only when every unknown's delta is inside tolerance.
+        let mut still = 0u64;
+        for (i, (xi, xn)) in x.iter_mut().zip(x_new.iter()).enumerate() {
+            for l in 0..LANES {
+                if pending >> l & 1 == 0 {
+                    continue;
+                }
+                let mut delta = xn[l] - xi[l];
+                let tol = if i < opts.n_nodes {
+                    if delta.abs() > VSTEP_MAX {
+                        delta = delta.signum() * VSTEP_MAX;
+                        still |= 1 << l;
+                    }
+                    VNTOL + RELTOL * xn[l].abs()
+                } else {
+                    ABSTOL + RELTOL * xn[l].abs()
+                };
+                if delta.abs() > tol {
+                    still |= 1 << l;
+                }
+                xi[l] += delta;
+            }
+        }
+        converged |= pending & !still;
+        pending &= still;
+    }
+    LaneNewtonReport {
+        converged,
+        failed,
+        iterations,
+    }
+}
+
+/// Per-lane outcome of a [`transient_lanes`] run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaneTransientReport {
+    /// Lanes that ran every one of their steps (retiring on schedule).
+    pub completed: u64,
+    /// Lanes stopped early by a Newton failure; their solution in
+    /// `ws.x` is the last accepted step.
+    pub failed: u64,
+    /// Total lockstep Newton iterations across all steps.
+    pub newton_iterations: usize,
+}
+
+/// Fixed-step lane-batched transient: advances every lane through its
+/// own number of steps, in lockstep, with per-lane retirement.
+///
+/// Lane `l` takes `stop_step[l]` steps; once it has, it retires and its
+/// solution freezes while longer-running lanes continue (the driver
+/// runs until the longest lane finishes). `assemble` is called per
+/// Newton iteration with `(step, x_prev, x_iter, values, z)` — the
+/// caller derives its integrator companions from `x_prev`, the previous
+/// accepted solution. `observe` runs after each accepted step with the
+/// step index, the full iterate, and the mask of lanes that actually
+/// advanced on that step.
+///
+/// A lane whose Newton solve fails (or stops converging) is rolled back
+/// to its last accepted solution and marked failed; the others are
+/// unaffected — the lane analogue of the scalar engine aborting the
+/// whole run.
+pub fn transient_lanes<const LANES: usize>(
+    pattern: &SparsePattern,
+    ws: &mut LaneWorkspace<LANES>,
+    opts: &LaneNewtonOptions,
+    stop_step: &[usize; LANES],
+    mut assemble: impl FnMut(
+        usize,
+        &[[f64; LANES]],
+        &[[f64; LANES]],
+        &mut [[f64; LANES]],
+        &mut [[f64; LANES]],
+    ),
+    mut observe: impl FnMut(usize, &[[f64; LANES]], u64),
+) -> LaneTransientReport {
+    let n = pattern.dim();
+    assert_eq!(ws.x.len(), n, "iterate length mismatch");
+    let total_steps = stop_step.iter().copied().max().unwrap_or(0);
+    let mut alive = all_lanes(LANES);
+    let mut newton_iterations = 0usize;
+    let mut x_prev = vec![[0.0; LANES]; n];
+    for step in 0..total_steps {
+        let mut stepping = 0u64;
+        for (l, &stop) in stop_step.iter().enumerate() {
+            if step < stop {
+                stepping |= 1 << l;
+            }
+        }
+        stepping &= alive;
+        if stepping == 0 {
+            break;
+        }
+        x_prev.copy_from_slice(&ws.x);
+        let report = newton_lanes(pattern, ws, opts, stepping, |x, values, z| {
+            assemble(step, &x_prev, x, values, z);
+        });
+        newton_iterations += report.iterations;
+        let bad = stepping & !report.converged;
+        if bad != 0 {
+            // Roll failed lanes back to their last accepted solution
+            // and retire them; healthy lanes keep their new step.
+            for (xi, prev) in ws.x.iter_mut().zip(x_prev.iter()) {
+                for l in 0..LANES {
+                    if bad >> l & 1 == 1 {
+                        xi[l] = prev[l];
+                    }
+                }
+            }
+            alive &= !bad;
+        }
+        observe(step, &ws.x, stepping & !bad);
+    }
+    LaneTransientReport {
+        completed: alive,
+        failed: all_lanes(LANES) & !alive,
+        newton_iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One-node backward-Euler RC discharge, per-lane resistance:
+    /// `(C/dt + 1/R_l)·v = (C/dt)·v_prev`.
+    struct Rc {
+        a: f64, // C/dt
+        g: [f64; 8],
+    }
+
+    fn rc_pattern() -> SparsePattern {
+        SparsePattern::from_entries(1, vec![(0, 0)])
+    }
+
+    fn rc_assemble<const LANES: usize>(
+        a: f64,
+        g: &[f64],
+        pattern: &SparsePattern,
+        x_prev: &[[f64; LANES]],
+        values: &mut [[f64; LANES]],
+        z: &mut [[f64; LANES]],
+    ) {
+        pattern.add_into_all(values, 0, 0, a);
+        for (l, &gl) in g.iter().enumerate() {
+            pattern.add_into_lane(values, 0, 0, l, gl);
+        }
+        for l in 0..LANES {
+            z[0][l] += a * x_prev[0][l];
+        }
+    }
+
+    #[test]
+    fn lane_transient_is_bit_identical_to_its_single_lane_runs() {
+        const LANES: usize = 8;
+        let rc = Rc {
+            a: 1e-9 / 1e-10,
+            g: [0.5, 1.0, 2.0, 4.0, 8.0, 0.25, 3.0, 1.5],
+        };
+        let pattern = rc_pattern();
+        let opts = LaneNewtonOptions {
+            n_nodes: 1,
+            max_iter: 50,
+        };
+        let steps = 40;
+
+        let mut ws = LaneWorkspace::<LANES>::new();
+        ws.x = vec![[1.0; LANES]];
+        let report = transient_lanes(
+            &pattern,
+            &mut ws,
+            &opts,
+            &[steps; LANES],
+            |_, x_prev, _, values, z| rc_assemble(rc.a, &rc.g, &pattern, x_prev, values, z),
+            |_, _, _| {},
+        );
+        assert_eq!(report.completed, all_lanes(LANES));
+        assert_eq!(report.failed, 0);
+
+        for lane in 0..LANES {
+            let mut solo = LaneWorkspace::<1>::new();
+            solo.x = vec![[1.0]];
+            let g = [rc.g[lane]];
+            let solo_report = transient_lanes(
+                &pattern,
+                &mut solo,
+                &opts,
+                &[steps],
+                |_, x_prev, _, values, z| rc_assemble(rc.a, &g, &pattern, x_prev, values, z),
+                |_, _, _| {},
+            );
+            assert_eq!(solo_report.completed, 1);
+            assert_eq!(
+                ws.x[0][lane].to_bits(),
+                solo.x[0][0].to_bits(),
+                "lane {lane}: {} vs {}",
+                ws.x[0][lane],
+                solo.x[0][0]
+            );
+        }
+
+        // Sanity against the analytic recurrence v ← v·a/(a+g).
+        for lane in 0..LANES {
+            let ratio = rc.a / (rc.a + rc.g[lane]);
+            let want = ratio.powi(steps as i32);
+            assert!(
+                (ws.x[0][lane] - want).abs() <= 1e-9 * want.abs(),
+                "lane {lane}: {} vs analytic {want}",
+                ws.x[0][lane]
+            );
+        }
+    }
+
+    #[test]
+    fn newton_converges_nonlinear_lanes_at_their_own_pace() {
+        // Per-lane diode-style equation g·v + Is·(exp(v/vt) − 1) = I,
+        // linearized the SPICE way; drive currents differ per lane so
+        // convergence takes a different number of damped iterations.
+        const LANES: usize = 4;
+        let (g, is, vt) = (1e-3, 1e-14, 0.025);
+        let drives = [1e-4, 1e-3, 5e-3, 2e-2];
+        let pattern = rc_pattern();
+        let opts = LaneNewtonOptions {
+            n_nodes: 1,
+            max_iter: 200,
+        };
+        let assemble = |drives: &[f64],
+                        x: &[[f64; LANES]],
+                        values: &mut [[f64; LANES]],
+                        z: &mut [[f64; LANES]]| {
+            for (l, &i_drive) in drives.iter().enumerate() {
+                let v = x[0][l];
+                let e = is * (v / vt).exp();
+                let geq = g + e / vt;
+                let ieq = (e - is) - (e / vt) * v;
+                values[0][l] += geq;
+                z[0][l] += i_drive - ieq;
+            }
+        };
+
+        let mut ws = LaneWorkspace::<LANES>::new();
+        ws.x = vec![[0.0; LANES]];
+        let report = newton_lanes(
+            &pattern,
+            &mut ws,
+            &opts,
+            all_lanes(LANES),
+            |x, values, z| assemble(&drives, x, values, z),
+        );
+        assert_eq!(report.converged, all_lanes(LANES), "{report:?}");
+        assert_eq!(report.failed, 0);
+
+        for (lane, &drive) in drives.iter().enumerate() {
+            // Residual check: the solved voltage satisfies the device
+            // equation to Newton tolerance (VNTOL on v maps to roughly
+            // geq·VNTOL in current — stay an order above that).
+            let v = ws.x[0][lane];
+            let res = g * v + is * ((v / vt).exp() - 1.0) - drive;
+            assert!(res.abs() < 1e-6, "lane {lane}: residual {res}");
+
+            // And lane-count invariance, bit for bit: the same problem
+            // at LANES = 1 freezes at the identical iterate even though
+            // the wide run kept iterating other lanes after this one
+            // converged.
+            let mut solo = LaneWorkspace::<1>::new();
+            solo.x = vec![[0.0]];
+            let solo_drive = [drive];
+            let solo_report = newton_lanes(&pattern, &mut solo, &opts, 1, |x, values, z| {
+                let mut vv = [[0.0f64; LANES]; 1];
+                let mut zz = [[0.0f64; LANES]; 1];
+                let mut xx = [[0.0f64; LANES]; 1];
+                xx[0][0] = x[0][0];
+                assemble(&solo_drive, &xx, &mut vv, &mut zz);
+                values[0][0] += vv[0][0];
+                z[0][0] += zz[0][0];
+            });
+            assert_eq!(solo_report.converged, 1);
+            assert_eq!(
+                ws.x[0][lane].to_bits(),
+                solo.x[0][0].to_bits(),
+                "lane {lane}"
+            );
+        }
+    }
+
+    #[test]
+    fn retired_lanes_freeze_while_others_run_on() {
+        const LANES: usize = 4;
+        let rc = Rc {
+            a: 10.0,
+            g: [1.0; 8],
+        };
+        let pattern = rc_pattern();
+        let opts = LaneNewtonOptions {
+            n_nodes: 1,
+            max_iter: 50,
+        };
+        let stop = [5usize, 10, 20, 40];
+        let mut ws = LaneWorkspace::<LANES>::new();
+        ws.x = vec![[1.0; LANES]];
+        let mut frozen_at_retirement = [0.0f64; LANES];
+        let report = transient_lanes(
+            &pattern,
+            &mut ws,
+            &opts,
+            &stop,
+            |_, x_prev, _, values, z| {
+                rc_assemble(rc.a, &rc.g[..LANES], &pattern, x_prev, values, z)
+            },
+            |step, x, advanced| {
+                for (l, &s) in stop.iter().enumerate() {
+                    assert_eq!(
+                        advanced >> l & 1 == 1,
+                        step < s,
+                        "step {step} lane {l} advance mask"
+                    );
+                    if step + 1 == s {
+                        frozen_at_retirement[l] = x[0][l];
+                    }
+                }
+            },
+        );
+        assert_eq!(report.completed, all_lanes(LANES));
+        // Every lane's final value is exactly the value it retired at,
+        // and each matches its own single-lane run bit for bit.
+        for (l, (&stop_l, &frozen)) in stop.iter().zip(frozen_at_retirement.iter()).enumerate() {
+            assert_eq!(ws.x[0][l].to_bits(), frozen.to_bits(), "lane {l}");
+            let mut solo = LaneWorkspace::<1>::new();
+            solo.x = vec![[1.0]];
+            transient_lanes(
+                &pattern,
+                &mut solo,
+                &opts,
+                &[stop_l],
+                |_, x_prev, _, values, z| {
+                    rc_assemble(rc.a, &rc.g[..1], &pattern, x_prev, values, z)
+                },
+                |_, _, _| {},
+            );
+            assert_eq!(ws.x[0][l].to_bits(), solo.x[0][0].to_bits(), "lane {l}");
+        }
+    }
+
+    #[test]
+    fn a_singular_lane_fails_without_poisoning_the_rest() {
+        // Lane 2's conductance is exactly zero: its 1×1 system is
+        // singular, so it must land in the failed mask while the other
+        // lanes converge to their scalar-identical solutions.
+        const LANES: usize = 3;
+        let pattern = rc_pattern();
+        let opts = LaneNewtonOptions {
+            n_nodes: 1,
+            max_iter: 20,
+        };
+        let g = [2.0, 0.0, 4.0];
+        let mut ws = LaneWorkspace::<LANES>::new();
+        ws.x = vec![[0.0; LANES]];
+        let report = newton_lanes(
+            &pattern,
+            &mut ws,
+            &opts,
+            all_lanes(LANES),
+            |_, values, z| {
+                for l in 0..LANES {
+                    values[0][l] += g[l];
+                    z[0][l] += 1.0;
+                }
+            },
+        );
+        assert_eq!(report.failed, 0b010, "{report:?}");
+        assert_eq!(report.converged, 0b101);
+        assert!((ws.x[0][0] - 0.5).abs() < 1e-12);
+        assert!((ws.x[0][2] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inactive_lanes_are_never_touched() {
+        const LANES: usize = 4;
+        let pattern = rc_pattern();
+        let opts = LaneNewtonOptions {
+            n_nodes: 1,
+            max_iter: 20,
+        };
+        let mut ws = LaneWorkspace::<LANES>::new();
+        ws.x = vec![[7.5; LANES]];
+        let report = newton_lanes(&pattern, &mut ws, &opts, 0b0101, |_, values, z| {
+            for l in 0..LANES {
+                values[0][l] += 1.0;
+                z[0][l] += 2.0;
+            }
+        });
+        assert_eq!(report.converged, 0b0101);
+        assert_eq!(ws.x[0][1], 7.5, "masked lane must stay frozen");
+        assert_eq!(ws.x[0][3], 7.5);
+        assert!((ws.x[0][0] - 2.0).abs() < 1e-9);
+    }
+}

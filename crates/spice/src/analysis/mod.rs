@@ -49,6 +49,7 @@ use crate::error::SpiceError;
 use crate::result::TransientResult;
 
 mod assembly;
+pub mod lanes;
 mod newton;
 pub mod reference;
 mod session;

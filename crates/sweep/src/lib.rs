@@ -13,7 +13,9 @@
 //!   pool (chunked self-scheduling over an atomic cursor, zero external
 //!   dependencies) that executes the grid and returns results in
 //!   **grid order**. `--jobs 1` takes a true serial fast path on the
-//!   calling thread.
+//!   calling thread. [`run_blocked`] hands workers contiguous
+//!   lane-sized blocks of points (same per-point seeds) so SIMD
+//!   lane-batched kernels compose with thread-level parallelism.
 //! - [`LazyPool`] — worker-owned keyed caches for expensive job state,
 //!   e.g. one `SimulationSession` per circuit topology per worker.
 //! - [`run_checkpointed`] — the same execution with completed points
@@ -39,6 +41,6 @@ pub use checkpoint::{
 };
 pub use grid::{fingerprint, fingerprint128, fingerprint_bytes, point_seed, Fnv1a, Grid};
 pub use pool::{
-    available_parallelism, run, run_with_state, JobCtx, Progress, RunSummary, SweepOptions,
-    SweepOutcome,
+    available_parallelism, run, run_blocked, run_with_state, JobCtx, Progress, RunSummary,
+    SweepOptions, SweepOutcome,
 };

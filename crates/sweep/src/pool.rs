@@ -171,6 +171,82 @@ where
     run_with_state(grid, opts, |_| (), |(), ctx, point| job(ctx, point), None)
 }
 
+/// Runs a *blocked* job over every grid point: workers claim
+/// contiguous blocks of up to `lanes` points and evaluate each block
+/// with one call — the composition point between thread-level
+/// parallelism (this pool) and lane-level SIMD batching (the job
+/// evaluates its block in lockstep).
+///
+/// The job receives index-aligned slices: one [`JobCtx`] per point —
+/// carrying the **same** per-point counter seed [`Grid::seed_of`]
+/// would hand the pointwise [`run`] — and the block's points. It must
+/// return exactly one result per point, in block order. Under that
+/// contract the flattened results are bit-identical to a pointwise
+/// [`run`] of the same per-point computation, for every `lanes` and
+/// every `jobs` value.
+///
+/// # Panics
+///
+/// Panics if the job returns a result count different from its block
+/// length.
+///
+/// # Examples
+///
+/// ```
+/// let grid = sweep::Grid::with_seed(vec![10u64, 20, 30, 40, 50], 9);
+/// let opts = sweep::SweepOptions::with_jobs(2);
+/// let out = sweep::run_blocked(&grid, &opts, 2, |ctxs, points| {
+///     ctxs.iter()
+///         .zip(points)
+///         .map(|(ctx, &p)| p + ctx.index as u64)
+///         .collect()
+/// });
+/// assert_eq!(out.results, vec![10, 21, 32, 43, 54]); // grid order
+/// assert_eq!(out.summary.points, 5);
+/// ```
+pub fn run_blocked<P, T>(
+    grid: &Grid<P>,
+    opts: &SweepOptions,
+    lanes: usize,
+    job: impl Fn(&[JobCtx], &[P]) -> Vec<T> + Sync,
+) -> SweepOutcome<T>
+where
+    P: Sync,
+    T: Send,
+{
+    let lanes = lanes.max(1);
+    let total = grid.len();
+    let blocks: Vec<(usize, usize)> = (0..total)
+        .step_by(lanes)
+        .map(|lo| (lo, (lo + lanes).min(total)))
+        .collect();
+    let block_grid = Grid::new(blocks);
+    let outcome = run(&block_grid, opts, |block_ctx, &(lo, hi)| {
+        let ctxs: Vec<JobCtx> = (lo..hi)
+            .map(|index| JobCtx {
+                index,
+                seed: grid.seed_of(index),
+                worker: block_ctx.worker,
+            })
+            .collect();
+        let results = job(&ctxs, &grid.points()[lo..hi]);
+        assert_eq!(
+            results.len(),
+            hi - lo,
+            "blocked job returned {} results for a block of {}",
+            results.len(),
+            hi - lo
+        );
+        results
+    });
+    let mut summary = outcome.summary;
+    summary.points = total;
+    SweepOutcome {
+        results: outcome.results.into_iter().flatten().collect(),
+        summary,
+    }
+}
+
 /// Runs a job over every grid point with per-worker state.
 ///
 /// `make_state` is called once per worker, **on that worker's thread**,
@@ -505,6 +581,60 @@ mod tests {
             .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
             .expect("panic payload is a string");
         assert_eq!(message, "boom at point 7");
+    }
+
+    #[test]
+    fn blocked_run_matches_pointwise_run_for_any_lane_count() {
+        let grid = Grid::with_seed((0..29u64).collect(), 77);
+        let pointwise = run(&grid, &SweepOptions::with_jobs(1), mix_job);
+        for lanes in [1, 3, 8, 64] {
+            for jobs in [1, 4] {
+                let blocked = run_blocked(
+                    &grid,
+                    &SweepOptions::with_jobs(jobs),
+                    lanes,
+                    |ctxs, points| {
+                        ctxs.iter()
+                            .zip(points)
+                            .map(|(ctx, p)| mix_job(ctx, p))
+                            .collect()
+                    },
+                );
+                assert_eq!(
+                    blocked.results, pointwise.results,
+                    "lanes = {lanes}, jobs = {jobs}"
+                );
+                assert_eq!(blocked.summary.points, 29);
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_run_hands_out_per_point_seeds_and_indices() {
+        let grid = Grid::with_seed(vec![0u8; 10], 5);
+        let out = run_blocked(&grid, &SweepOptions::with_jobs(1), 4, |ctxs, points| {
+            assert!(points.len() <= 4);
+            ctxs.iter().map(|ctx| (ctx.index, ctx.seed)).collect()
+        });
+        for (i, &(index, seed)) in out.results.iter().enumerate() {
+            assert_eq!(index, i);
+            assert_eq!(seed, grid.seed_of(i));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "blocked job returned")]
+    fn blocked_job_must_return_one_result_per_point() {
+        let grid = Grid::new(vec![0u8; 4]);
+        let _ = run_blocked(&grid, &SweepOptions::with_jobs(1), 2, |_, _| vec![0u8; 1]);
+    }
+
+    #[test]
+    fn blocked_run_over_an_empty_grid_is_empty() {
+        let grid: Grid<u64> = Grid::new(Vec::new());
+        let out = run_blocked(&grid, &SweepOptions::default(), 8, |_, _| Vec::<u64>::new());
+        assert!(out.results.is_empty());
+        assert_eq!(out.summary.points, 0);
     }
 
     #[test]

@@ -267,5 +267,17 @@ grep -q '"warm_over_cold"' target/BENCH_report.json || {
     echo "BENCH report is missing the chserve section" >&2
     exit 1
 }
+# And the lane-batched Monte-Carlo comparison: the simd_mc section
+# carries the lanes-vs-threads speedup and the bit-identity verdict.
+grep -q '"speedup_vs_threads"' target/BENCH_report.json || {
+    echo "BENCH report is missing the simd_mc section" >&2
+    exit 1
+}
+
+echo "==> lane-batched WER smoke: every lane width x jobs diffs exactly against scalar"
+# The differential mode reruns the WER grid for every supported lane
+# width x worker count (lanes=1 vs lanes=N included) and exits nonzero
+# on any divergence from the scalar serial reference.
+cargo run --offline -q --release -p nvff-bench --bin simd_mc -- --check
 
 echo "==> tier-1 gate passed"

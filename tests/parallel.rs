@@ -136,9 +136,6 @@ fn solver_stats_fold_is_order_independent() {
 /// the real stochastic-write workload.
 #[test]
 fn checkpointed_wer_campaign_resumes_bit_identically() {
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
-
     let params = MtjParams::date2018();
     let model = mtj::SwitchingModel::new(&params);
     let drive = params.nominal_write_current();
@@ -153,8 +150,7 @@ fn checkpointed_wer_campaign_resumes_bit_identically() {
     let _ = std::fs::remove_file(&path);
 
     let job = |(): &mut (), ctx: &sweep::JobCtx, &(current, pulse): &(Current, Time)| {
-        let mut rng = StdRng::seed_from_u64(ctx.seed);
-        wer::count_write_failures(&params, current, pulse, trials, &mut rng) as u64
+        wer::count_write_failures(&params, current, pulse, trials, ctx.seed) as u64
     };
     let grid = sweep::Grid::with_seed(points.clone(), seed);
     let policy = sweep::CheckpointPolicy {
