@@ -16,6 +16,7 @@
 #![warn(missing_docs)]
 
 pub mod chserve;
+pub mod shmoo;
 pub mod simd_mc;
 
 /// Extracts the `--json <path>` argument from the process command line

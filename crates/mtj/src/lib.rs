@@ -52,6 +52,7 @@ pub mod device;
 pub mod lanes;
 pub mod montecarlo;
 pub mod params;
+pub mod rare;
 pub mod resistance;
 pub mod switching;
 pub mod thermal;
@@ -60,6 +61,7 @@ pub mod wer;
 
 pub use device::{Mtj, WritePolarity};
 pub use params::{MtjParams, MtjParamsBuilder, ValidateParamsError};
+pub use rare::{Estimator, TailEnv, TailEstimate, TailOptions, Tilt};
 pub use resistance::MtjState;
 pub use switching::SwitchingModel;
 pub use thermal::ThermalModel;

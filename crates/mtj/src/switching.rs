@@ -108,6 +108,52 @@ impl SwitchingModel {
         }
     }
 
+    /// Builds a model for a *perturbed* device using the precessional
+    /// calibration of a *reference* device — the construction variation
+    /// and temperature studies need.
+    ///
+    /// [`Self::new`] calibrates `τ_p` so the parameter set's own nominal
+    /// write current switches in the target write time. Applied to a
+    /// Monte-Carlo sample that recalibration silently absorbs the very
+    /// perturbation under study: at the nominal drive the overdrive
+    /// factor cancels and every sample switches in exactly the
+    /// calibrated time, regardless of its critical current. Here the
+    /// time constant is frozen from `reference` (it is a device-class
+    /// property — magnetics and damping — not a per-die one), while the
+    /// critical current, thermal stability and attempt time come from
+    /// `device`, so an `Ic` excursion shifts the switching curve the
+    /// way a real slow die would.
+    ///
+    /// `with_reference(p, p)` is identical to `new(p)`.
+    #[must_use]
+    pub fn with_reference(reference: &MtjParams, device: &MtjParams) -> Self {
+        Self::with_reference_write_time(reference, device, Self::DEFAULT_WRITE_TIME)
+    }
+
+    /// [`Self::with_reference`] with an explicit reference write time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `write_time` is not positive.
+    #[must_use]
+    pub fn with_reference_write_time(
+        reference: &MtjParams,
+        device: &MtjParams,
+        write_time: Time,
+    ) -> Self {
+        assert!(
+            write_time.seconds() > 0.0,
+            "write time must be positive, got {write_time}"
+        );
+        let overdrive = reference.nominal_write_current() / reference.critical_current() - 1.0;
+        Self {
+            critical_current: device.critical_current(),
+            attempt_time: device.attempt_time(),
+            thermal_stability: device.thermal_stability(),
+            precessional_time_constant: write_time * overdrive,
+        }
+    }
+
     /// The regime a drive current of magnitude `current` falls into.
     #[must_use]
     pub fn regime(&self, current: Current) -> SwitchingRegime {
@@ -282,6 +328,43 @@ mod tests {
     fn zero_write_time_panics() {
         let p = MtjParams::date2018();
         let _ = SwitchingModel::with_write_time(&p, Time::ZERO);
+    }
+
+    #[test]
+    fn reference_calibration_matches_new_on_the_reference() {
+        let p = MtjParams::date2018();
+        assert_eq!(
+            SwitchingModel::with_reference(&p, &p),
+            SwitchingModel::new(&p)
+        );
+        assert_eq!(
+            SwitchingModel::with_reference_write_time(&p, &p, Time::from_nano_seconds(5.0)),
+            SwitchingModel::with_write_time(&p, Time::from_nano_seconds(5.0))
+        );
+    }
+
+    #[test]
+    fn reference_calibration_sees_critical_current_excursions() {
+        // Regression for the variation studies: recalibrating on the
+        // perturbed set (`new`) cancels an Ic excursion exactly at the
+        // nominal drive — overdrive appears in both τ_p and the
+        // denominator, so every sample switches in the calibrated 2 ns
+        // no matter how slow its die is. The reference-calibrated model
+        // must expose the excursion instead.
+        let p = MtjParams::date2018();
+        let slow = p.perturbed(1.0, 1.0, 1.15); // a +3σ Isw die at σ = 5 %
+        let i = p.nominal_write_current();
+        let recalibrated = SwitchingModel::new(&slow).mean_switching_time(i);
+        assert!((recalibrated.nano_seconds() - 2.0).abs() < 1e-9);
+        let referenced = SwitchingModel::with_reference(&p, &slow).mean_switching_time(i);
+        assert!(
+            referenced > recalibrated * 1.2,
+            "slow die must switch slower: {referenced} vs {recalibrated}"
+        );
+        // And a fast die switches faster.
+        let fast = p.perturbed(1.0, 1.0, 0.85);
+        let fast_tau = SwitchingModel::with_reference(&p, &fast).mean_switching_time(i);
+        assert!(fast_tau < recalibrated * 0.8, "fast die: {fast_tau}");
     }
 
     #[test]

@@ -122,6 +122,33 @@ pub fn trial_step_plan(pulse: Time) -> (usize, Time) {
     }
 }
 
+/// Probability that one stochastic write **trial** fails, conditioned on
+/// the device's switching model — `exp(−(steps·step)/τ)` under the exact
+/// integration plan of [`trial_step_plan`], with the trial preamble's
+/// guards applied (a torque-less drive or a zero-step pulse fails with
+/// certainty).
+///
+/// This is the Rao–Blackwellized ("smooth") form of [`write_trial`]: it
+/// returns the trial's failure probability instead of a Bernoulli draw,
+/// and is what the importance-sampling engine in [`crate::rare`]
+/// integrates over the variation space. It matches the stepped trial's
+/// distribution exactly — `(1 − p_step)^steps = exp(−steps·step/τ)` —
+/// where [`write_error_rate`] uses the un-discretized pulse length and
+/// no polarity guard.
+#[must_use]
+pub fn trial_failure_probability(model: &SwitchingModel, current: Current, pulse: Time) -> f64 {
+    if WritePolarity::PositiveSetsAntiParallel.target_state(current) != Some(MtjState::AntiParallel)
+    {
+        return 1.0;
+    }
+    let (steps, step) = trial_step_plan(pulse);
+    if steps == 0 {
+        return 1.0;
+    }
+    let per_step = 1.0 - model.switch_probability(current, step);
+    per_step.powi(i32::try_from(steps).unwrap_or(i32::MAX))
+}
+
 /// Outcome of one stochastic write trial — see [`write_trial`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WriteTrial {
@@ -147,8 +174,27 @@ pub fn write_trial<R: Rng + ?Sized>(
     pulse: Time,
     rng: &mut R,
 ) -> WriteTrial {
-    let mut device = Mtj::new(
+    write_trial_with_model(params, SwitchingModel::new(params), current, pulse, rng)
+}
+
+/// [`write_trial`] with an explicit switching model instead of the
+/// self-calibrated `SwitchingModel::new(params)`.
+///
+/// Variation studies need this: a Monte-Carlo sample must be stepped
+/// under a **reference-calibrated** model
+/// ([`SwitchingModel::with_reference`]) or the per-sample recalibration
+/// cancels the very `Ic` excursion being sampled. The draw pattern is
+/// identical to [`write_trial`].
+pub fn write_trial_with_model<R: Rng + ?Sized>(
+    params: &MtjParams,
+    model: SwitchingModel,
+    current: Current,
+    pulse: Time,
+    rng: &mut R,
+) -> WriteTrial {
+    let mut device = Mtj::with_model(
         params.clone(),
+        model,
         MtjState::Parallel,
         WritePolarity::PositiveSetsAntiParallel,
     );
@@ -239,6 +285,90 @@ impl WerEstimate {
         } else {
             self.failures as f64 / self.trials as f64
         }
+    }
+
+    /// Two-sided **Wilson score** confidence interval on the estimated
+    /// WER — the right interval for an unweighted Bernoulli count.
+    ///
+    /// Unlike the Wald interval `p̂ ± z·√(p̂(1−p̂)/n)`, Wilson stays
+    /// inside `[0, 1]` and remains informative at zero observed
+    /// failures (`lo = 0`, `hi ≈ z²/(n+z²)` — the rule-of-three
+    /// regime), which is the typical state of a rare-event campaign's
+    /// brute-force arm. Weighted (importance-sampled) estimates use the
+    /// CLT-on-weights interval from [`crate::rare`] instead.
+    ///
+    /// A zero-trial estimate returns a `NaN` interval, mirroring
+    /// [`Self::wer`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mtj::wer::WerEstimate;
+    /// use units::{Current, Time};
+    ///
+    /// let est = WerEstimate {
+    ///     current: Current::from_micro_amps(70.0),
+    ///     pulse: Time::from_nano_seconds(2.0),
+    ///     trials: 1000,
+    ///     failures: 3,
+    /// };
+    /// let ci = est.confidence_interval(0.99);
+    /// assert!(ci.lo > 0.0 && ci.lo < est.wer() && est.wer() < ci.hi);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < confidence < 1`.
+    #[must_use]
+    pub fn confidence_interval(&self, confidence: f64) -> ConfidenceInterval {
+        let z = crate::rare::z_for_confidence(confidence);
+        if self.trials == 0 {
+            return ConfidenceInterval {
+                lo: f64::NAN,
+                hi: f64::NAN,
+                confidence,
+            };
+        }
+        let n = self.trials as f64;
+        let p = self.failures as f64 / n;
+        let z2 = z * z;
+        let denom = 1.0 + z2 / n;
+        let center = (p + z2 / (2.0 * n)) / denom;
+        let half = (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+        ConfidenceInterval {
+            lo: (center - half).max(0.0),
+            hi: (center + half).min(1.0),
+            confidence,
+        }
+    }
+}
+
+/// A two-sided confidence interval `[lo, hi]` at the stated confidence
+/// level — attached to both the brute-force Wilson intervals here and
+/// the CLT-on-weights intervals of the importance-sampled estimates in
+/// [`crate::rare`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+    /// Confidence level in `(0, 1)`, e.g. `0.99`.
+    pub confidence: f64,
+}
+
+impl ConfidenceInterval {
+    /// Whether `value` lies inside the closed interval. `NaN` bounds
+    /// (zero-sample estimates) contain nothing.
+    #[must_use]
+    pub fn contains(&self, value: f64) -> bool {
+        value >= self.lo && value <= self.hi
+    }
+
+    /// Interval width, `hi − lo`.
+    #[must_use]
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
     }
 }
 
@@ -593,5 +723,94 @@ mod tests {
     fn invalid_target_panics() {
         let (p, m) = setup();
         let _ = pulse_for_wer(&m, p.nominal_write_current(), 1.5);
+    }
+
+    #[test]
+    fn trial_failure_probability_matches_the_stepped_trial_distribution() {
+        let (p, m) = setup();
+        let i = p.nominal_write_current();
+        let pulse = Time::from_nano_seconds(4.0);
+        let (steps, step) = trial_step_plan(pulse);
+        // The stepped trial fails iff all `steps` Bernoulli draws miss.
+        let expected = (1.0 - m.switch_probability(i, step)).powi(steps as i32);
+        assert_eq!(trial_failure_probability(&m, i, pulse), expected);
+        // ... which is the analytic rate over the discretized pulse.
+        let covered = Time::from_seconds(step.seconds() * steps as f64);
+        let analytic = write_error_rate(&m, i, covered);
+        assert!((expected / analytic - 1.0).abs() < 1e-12);
+        // Trial-preamble guards: no torque or no steps fails certainly.
+        assert_eq!(trial_failure_probability(&m, Current::ZERO, pulse), 1.0);
+        assert_eq!(trial_failure_probability(&m, -i, pulse), 1.0);
+        assert_eq!(trial_failure_probability(&m, i, Time::ZERO), 1.0);
+    }
+
+    #[test]
+    fn write_trial_with_model_generalizes_write_trial() {
+        let (p, m) = setup();
+        let i = p.nominal_write_current();
+        let pulse = Time::from_nano_seconds(2.0);
+        for seed in 0..50 {
+            let mut a = StdRng::seed_from_u64(seed);
+            let mut b = StdRng::seed_from_u64(seed);
+            assert_eq!(
+                write_trial(&p, i, pulse, &mut a),
+                write_trial_with_model(&p, m.clone(), i, pulse, &mut b)
+            );
+        }
+    }
+
+    #[test]
+    fn wilson_interval_brackets_the_point_estimate() {
+        let (p, _) = setup();
+        let est = WerEstimate {
+            current: p.nominal_write_current(),
+            pulse: Time::from_nano_seconds(2.0),
+            trials: 1000,
+            failures: 10,
+        };
+        let ci95 = est.confidence_interval(0.95);
+        let ci99 = est.confidence_interval(0.99);
+        assert!(ci95.lo > 0.0 && ci95.contains(est.wer()) && ci95.hi < 1.0);
+        // Higher confidence widens the interval; more data narrows it.
+        assert!(ci99.width() > ci95.width());
+        let bigger = WerEstimate {
+            trials: 100_000,
+            failures: 1000,
+            ..est
+        };
+        assert!(bigger.confidence_interval(0.95).width() < ci95.width());
+    }
+
+    #[test]
+    fn wilson_interval_stays_informative_at_zero_failures() {
+        // The rule-of-three regime: no observed failures still bounds
+        // the rate away from "anything".
+        let (p, _) = setup();
+        let est = WerEstimate {
+            current: p.nominal_write_current(),
+            pulse: Time::from_nano_seconds(2.0),
+            trials: 3000,
+            failures: 0,
+        };
+        let ci = est.confidence_interval(0.99);
+        assert_eq!(ci.lo, 0.0);
+        assert!(ci.hi > 0.0 && ci.hi < 5e-3, "hi = {}", ci.hi);
+        assert!(ci.contains(0.0) && !ci.contains(0.01));
+    }
+
+    #[test]
+    fn zero_trial_confidence_interval_is_nan() {
+        // Regression companion to `zero_trial_estimate_is_nan_not_perfect`:
+        // the interval must not claim certainty from an empty campaign.
+        let (p, _) = setup();
+        let empty = WerEstimate {
+            current: p.nominal_write_current(),
+            pulse: Time::from_nano_seconds(2.0),
+            trials: 0,
+            failures: 0,
+        };
+        let ci = empty.confidence_interval(0.99);
+        assert!(ci.lo.is_nan() && ci.hi.is_nan());
+        assert!(!ci.contains(0.0), "a NaN interval contains nothing");
     }
 }

@@ -18,6 +18,13 @@
 //! 400s, because anything tolerated-but-ignored would alias distinct
 //! cache keys onto one entry.
 //!
+//! The `wer_tail` analysis runs the importance-sampled rare-event
+//! engine ([`mtj::rare`]) on the paper's MTJ compact model instead of
+//! the circuit simulator; its knobs ride in an optional `"wer"` object
+//! (`target_wer`, `samples`, `seed`, `sigma_switching_current`) that is
+//! *only* legal — and only canonicalized — for that analysis kind, so
+//! the cache keys of every pre-existing analysis are unchanged.
+//!
 //! **Canonicalization.** The cache key is not a hash of the request
 //! bytes — it is [`sweep::fingerprint128`] over the *canonical
 //! serialization* of the parsed request: fixed top-level key order,
@@ -63,18 +70,22 @@ pub enum AnalysisKind {
     Write,
     /// Static power of the idle cell.
     Leakage,
+    /// Importance-sampled write-error-rate tail of the storage MTJ
+    /// (no circuit simulation; see the `"wer"` request object).
+    WerTail,
 }
 
 impl AnalysisKind {
-    /// Parses `full | read | write | leakage`.
+    /// Parses `full | read | write | leakage | wer_tail`.
     fn parse(name: &str) -> Result<Self, String> {
         match name {
             "full" => Ok(Self::Full),
             "read" => Ok(Self::Read),
             "write" => Ok(Self::Write),
             "leakage" => Ok(Self::Leakage),
+            "wer_tail" => Ok(Self::WerTail),
             _ => Err(format!(
-                "unknown analysis {name:?}: expected full, read, write or leakage"
+                "unknown analysis {name:?}: expected full, read, write, leakage or wer_tail"
             )),
         }
     }
@@ -87,7 +98,105 @@ impl AnalysisKind {
             Self::Read => "read",
             Self::Write => "write",
             Self::Leakage => "leakage",
+            Self::WerTail => "wer_tail",
         }
+    }
+}
+
+/// Knobs of a `wer_tail` analysis, parsed from the `"wer"` object.
+/// Defaults are materialized at parse time, so an omitted knob and its
+/// explicit default share one cache entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WerTailRequest {
+    /// Typical-die WER target defining the pulse width (through the
+    /// closed-form `pulse_for_wer` on the reference device).
+    pub target_wer: f64,
+    /// Importance-sampled draws.
+    pub samples: usize,
+    /// Campaign base seed.
+    pub seed: u64,
+    /// σ fraction of the switching current (σ(RA)/σ(TMR) stay at the
+    /// variation model's defaults).
+    pub sigma_switching_current: f64,
+}
+
+/// Most IS draws one request may ask for: keeps a single request's
+/// compute comparable to one circuit characterization.
+const MAX_WER_SAMPLES: usize = 200_000;
+
+impl Default for WerTailRequest {
+    fn default() -> Self {
+        Self {
+            target_wer: 1e-9,
+            samples: 4000,
+            seed: 0,
+            sigma_switching_current: mtj::VariationModel::default().sigma_switching_current(),
+        }
+    }
+}
+
+impl WerTailRequest {
+    fn parse(value: &JsonValue) -> Result<Self, String> {
+        let JsonValue::Object(entries) = value else {
+            return Err("field \"wer\" must be an object".into());
+        };
+        let mut wer = Self::default();
+        for (key, value) in entries {
+            let number = value
+                .as_f64()
+                .ok_or_else(|| format!("wer option {key:?} must be a number"))?;
+            match key.as_str() {
+                "target_wer" => wer.target_wer = number,
+                "samples" => {
+                    if number < 1.0 || number.fract() != 0.0 {
+                        return Err("wer option \"samples\" must be a positive integer".into());
+                    }
+                    wer.samples = number as usize;
+                }
+                "seed" => {
+                    if number < 0.0 || number.fract() != 0.0 {
+                        return Err("wer option \"seed\" must be a non-negative integer".into());
+                    }
+                    wer.seed = number as u64;
+                }
+                "sigma_switching_current" => wer.sigma_switching_current = number,
+                _ => {
+                    return Err(format!(
+                        "unknown wer option {key:?}: expected target_wer, samples, seed, \
+                         sigma_switching_current"
+                    ));
+                }
+            }
+        }
+        if !(wer.target_wer > 0.0 && wer.target_wer < 1.0) {
+            return Err("wer option \"target_wer\" must be in (0, 1)".into());
+        }
+        if wer.samples > MAX_WER_SAMPLES {
+            return Err(format!(
+                "wer option \"samples\" exceeds the {MAX_WER_SAMPLES} cap"
+            ));
+        }
+        // The σ bound is the variation model's own; validate now so a
+        // bad request 400s instead of panicking a worker.
+        mtj::VariationModel::new(
+            mtj::VariationModel::default().sigma_ra(),
+            mtj::VariationModel::default().sigma_tmr(),
+            wer.sigma_switching_current,
+        )
+        .map_err(|e| e.to_string())?;
+        Ok(wer)
+    }
+
+    fn canonical_value(&self) -> JsonValue {
+        JsonValue::object(vec![
+            ("samples".into(), JsonValue::Int(self.samples as i64)),
+            ("seed".into(), JsonValue::Int(self.seed as i64)),
+            (
+                "sigma_switching_current".into(),
+                JsonValue::Float(self.sigma_switching_current),
+            ),
+            ("target_wer".into(), JsonValue::Float(self.target_wer)),
+        ])
     }
 }
 
@@ -102,6 +211,9 @@ pub struct CharacterizeRequest {
     pub analysis: AnalysisKind,
     /// Whitelisted parameter overrides, sorted by key.
     pub overrides: Vec<(String, f64)>,
+    /// Rare-event knobs; `Some` exactly when `analysis` is
+    /// [`AnalysisKind::WerTail`] (defaults materialized).
+    pub wer: Option<WerTailRequest>,
 }
 
 impl CharacterizeRequest {
@@ -120,10 +232,10 @@ impl CharacterizeRequest {
         for (key, _) in fields {
             if !matches!(
                 key.as_str(),
-                "variant" | "corner" | "analysis" | "overrides"
+                "variant" | "corner" | "analysis" | "overrides" | "wer"
             ) {
                 return Err(format!(
-                    "unknown field {key:?}: expected variant, corner, analysis, overrides"
+                    "unknown field {key:?}: expected variant, corner, analysis, overrides, wer"
                 ));
             }
         }
@@ -167,11 +279,20 @@ impl CharacterizeRequest {
         // Validate keys and values now (cheap — no simulation), so a
         // bad request 400s instead of becoming a queued 500.
         cells::resolve_config(corner, &overrides).map_err(|e| e.to_string())?;
+        let wer = match (analysis, doc.get("wer")) {
+            (AnalysisKind::WerTail, Some(value)) => Some(WerTailRequest::parse(value)?),
+            (AnalysisKind::WerTail, None) => Some(WerTailRequest::default()),
+            (_, Some(_)) => {
+                return Err("field \"wer\" is only valid with analysis \"wer_tail\"".into());
+            }
+            (_, None) => None,
+        };
         Ok(Self {
             variant,
             corner,
             analysis,
             overrides,
+            wer,
         })
     }
 
@@ -189,16 +310,23 @@ impl CharacterizeRequest {
     /// normalized through the one shared `f64` formatter.
     #[must_use]
     pub fn canonical(&self) -> String {
-        JsonValue::object(vec![
+        let mut fields = vec![
             (
-                "analysis".into(),
+                "analysis".to_owned(),
                 JsonValue::Str(self.analysis.label().into()),
             ),
-            ("corner".into(), JsonValue::Str(self.corner.to_string())),
-            ("overrides".into(), self.overrides_value()),
-            ("variant".into(), JsonValue::Str(self.variant.label())),
-        ])
-        .to_json()
+            ("corner".to_owned(), JsonValue::Str(self.corner.to_string())),
+            ("overrides".to_owned(), self.overrides_value()),
+            ("variant".to_owned(), JsonValue::Str(self.variant.label())),
+        ];
+        // Only a wer_tail request carries the "wer" field, so the
+        // canonical bytes — and the cache keys — of every other
+        // analysis kind are exactly what they were before the field
+        // existed.
+        if let Some(wer) = &self.wer {
+            fields.insert(3, ("wer".to_owned(), wer.canonical_value()));
+        }
+        JsonValue::object(fields).to_json()
     }
 
     /// Content fingerprint of the full request — the cache key.
@@ -307,6 +435,78 @@ pub fn render_response(request: &CharacterizeRequest, metrics: &CellMetrics) -> 
         ),
         ("metrics".into(), JsonValue::Object(metric_fields)),
         ("solver".into(), solver),
+    ])
+    .to_json();
+    body.push('\n');
+    body
+}
+
+/// Renders the response body of a `wer_tail` analysis. Same
+/// determinism contract as [`render_response`]: fixed field order, the
+/// shared float formatter, a trailing newline.
+#[must_use]
+pub fn render_wer_tail_response(
+    request: &CharacterizeRequest,
+    wer: &WerTailRequest,
+    result: &mtj::rare::TailPointResult,
+) -> String {
+    let e = &result.estimate;
+    let tail = JsonValue::object(vec![
+        (
+            "pulse_ns".into(),
+            JsonValue::Float(result.pulse.nano_seconds()),
+        ),
+        ("target_wer".into(), JsonValue::Float(wer.target_wer)),
+        (
+            "sigma_switching_current".into(),
+            JsonValue::Float(wer.sigma_switching_current),
+        ),
+        ("samples".into(), JsonValue::Int(e.samples as i64)),
+        ("seed".into(), JsonValue::Int(wer.seed as i64)),
+        ("wer".into(), JsonValue::Float(e.wer)),
+        (
+            "self_normalized_wer".into(),
+            JsonValue::Float(e.self_normalized),
+        ),
+        ("std_error".into(), JsonValue::Float(e.std_error)),
+        ("ci_lo".into(), JsonValue::Float(e.ci.lo)),
+        ("ci_hi".into(), JsonValue::Float(e.ci.hi)),
+        ("confidence".into(), JsonValue::Float(e.ci.confidence)),
+        (
+            "contribution_ess".into(),
+            JsonValue::Float(e.contribution_ess),
+        ),
+        ("weight_ess".into(), JsonValue::Float(e.weight_ess)),
+        ("mean_weight".into(), JsonValue::Float(e.mean_weight)),
+        (
+            "bf_equivalent_trials".into(),
+            JsonValue::Float(e.brute_force_equivalent_trials()),
+        ),
+        (
+            "tilt".into(),
+            JsonValue::Array(
+                result
+                    .tilt
+                    .mu
+                    .iter()
+                    .map(|&m| JsonValue::Float(m))
+                    .collect(),
+            ),
+        ),
+    ]);
+    let mut body = JsonValue::object(vec![
+        ("schema".into(), JsonValue::Str(RESPONSE_SCHEMA.into())),
+        (
+            "fingerprint".into(),
+            JsonValue::Str(format!("{:032x}", request.fingerprint())),
+        ),
+        ("variant".into(), JsonValue::Str(request.variant.label())),
+        ("corner".into(), JsonValue::Str(request.corner.to_string())),
+        (
+            "analysis".into(),
+            JsonValue::Str(request.analysis.label().into()),
+        ),
+        ("wer_tail".into(), tail),
     ])
     .to_json();
     body.push('\n');
@@ -446,6 +646,12 @@ thread_local! {
 fn execute(job: &Job) -> Result<String, String> {
     let request = CharacterizeRequest::parse(&job.canonical)
         .map_err(|e| format!("internal: canonical request failed to re-parse: {e}"))?;
+    if let Some(wer) = &request.wer {
+        // The rare-event arm runs on the MTJ compact model — no pooled
+        // circuit, no characterization.
+        let _span = telemetry::span("serve.wer_tail");
+        return Ok(execute_wer_tail(&request, wer));
+    }
     let config = request.resolve_config()?;
     CIRCUITS.with(|cell| {
         let mut pool = cell.borrow_mut();
@@ -463,6 +669,35 @@ fn execute(job: &Job) -> Result<String, String> {
         let metrics = circuit.metrics.as_ref().expect("just computed");
         Ok(render_response(&request, metrics))
     })
+}
+
+/// Runs one `wer_tail` analysis: the adaptive tilted campaign of
+/// [`mtj::rare::estimate_tail`] at the pulse width the typical die
+/// needs to hit `target_wer`. Serial inside the worker (`jobs: 1`) —
+/// queue workers are the service's parallelism.
+fn execute_wer_tail(request: &CharacterizeRequest, wer: &WerTailRequest) -> String {
+    let params = mtj::MtjParams::date2018();
+    let base = mtj::VariationModel::default();
+    let variation = mtj::VariationModel::new(
+        base.sigma_ra(),
+        base.sigma_tmr(),
+        wer.sigma_switching_current,
+    )
+    .expect("validated at parse");
+    let current = params.nominal_write_current();
+    let env = mtj::rare::TailEnv::new(&params, variation, current);
+    let pulse = mtj::wer::pulse_for_wer(&env.reference_model(), current, wer.target_wer);
+    let result = mtj::rare::estimate_tail(
+        &env,
+        pulse,
+        &mtj::rare::TailOptions {
+            samples: wer.samples,
+            seed: wer.seed,
+            jobs: 1,
+            ..mtj::rare::TailOptions::default()
+        },
+    );
+    render_wer_tail_response(request, wer, &result)
 }
 
 impl CharacterizeService {
@@ -669,5 +904,123 @@ mod tests {
         assert!(body.contains("read_energy_fj"), "{body}");
         assert!(!body.contains("write_energy_fj"), "{body}");
         assert!(!body.contains("leakage_nw"), "{body}");
+    }
+
+    #[test]
+    fn wer_tail_requests_parse_with_materialized_defaults() {
+        let implicit =
+            CharacterizeRequest::parse(r#"{"variant":"proposed","analysis":"wer_tail"}"#).unwrap();
+        let wer = implicit.wer.as_ref().expect("wer knobs materialized");
+        assert_eq!(*wer, WerTailRequest::default());
+
+        // Explicit defaults share the implicit request's cache entry.
+        let explicit = CharacterizeRequest::parse(
+            r#"{"variant":"proposed","analysis":"wer_tail",
+                "wer":{"target_wer":1e-9,"samples":4000,"seed":0,
+                       "sigma_switching_current":0.05}}"#,
+        )
+        .unwrap();
+        assert_eq!(implicit.fingerprint(), explicit.fingerprint());
+
+        // Any knob perturbation is a distinct entry.
+        for body in [
+            r#"{"variant":"proposed","analysis":"wer_tail","wer":{"target_wer":1e-7}}"#,
+            r#"{"variant":"proposed","analysis":"wer_tail","wer":{"samples":2000}}"#,
+            r#"{"variant":"proposed","analysis":"wer_tail","wer":{"seed":1}}"#,
+            r#"{"variant":"proposed","analysis":"wer_tail","wer":{"sigma_switching_current":0.06}}"#,
+        ] {
+            let other = CharacterizeRequest::parse(body).expect(body);
+            assert_ne!(implicit.fingerprint(), other.fingerprint(), "{body}");
+        }
+    }
+
+    #[test]
+    fn the_wer_field_stays_out_of_every_other_analysis_kind() {
+        // Rejected outright where it would be silently ignored...
+        let err = CharacterizeRequest::parse(
+            r#"{"variant":"proposed","analysis":"read","wer":{"samples":100}}"#,
+        )
+        .expect_err("wer with read analysis");
+        assert!(err.contains("wer_tail"), "{err}");
+        // ...and absent from the canonical bytes of non-wer_tail
+        // requests, so pre-existing cache keys are untouched.
+        let full = CharacterizeRequest::parse(r#"{"variant":"proposed"}"#).unwrap();
+        assert!(!full.canonical().contains("wer"), "{}", full.canonical());
+        let tail =
+            CharacterizeRequest::parse(r#"{"variant":"proposed","analysis":"wer_tail"}"#).unwrap();
+        assert!(
+            tail.canonical().contains("\"wer\":{"),
+            "{}",
+            tail.canonical()
+        );
+    }
+
+    #[test]
+    fn bad_wer_requests_are_descriptive_400s() {
+        for (body, needle) in [
+            (
+                r#"{"variant":"proposed","analysis":"wer_tail","wer":[1]}"#,
+                "must be an object",
+            ),
+            (
+                r#"{"variant":"proposed","analysis":"wer_tail","wer":{"bogus":1}}"#,
+                "unknown wer option",
+            ),
+            (
+                r#"{"variant":"proposed","analysis":"wer_tail","wer":{"target_wer":2}}"#,
+                "(0, 1)",
+            ),
+            (
+                r#"{"variant":"proposed","analysis":"wer_tail","wer":{"samples":0}}"#,
+                "positive integer",
+            ),
+            (
+                r#"{"variant":"proposed","analysis":"wer_tail","wer":{"samples":1000000}}"#,
+                "cap",
+            ),
+            (
+                r#"{"variant":"proposed","analysis":"wer_tail","wer":{"seed":-1}}"#,
+                "non-negative",
+            ),
+            (
+                r#"{"variant":"proposed","analysis":"wer_tail","wer":{"sigma_switching_current":0.5}}"#,
+                "",
+            ),
+        ] {
+            let err = CharacterizeRequest::parse(body).expect_err(body);
+            assert!(err.contains(needle), "{body}: {err}");
+        }
+    }
+
+    #[test]
+    fn wer_tail_executes_end_to_end_and_renders_deterministically() {
+        let request = CharacterizeRequest::parse(
+            r#"{"variant":"proposed","analysis":"wer_tail",
+                "wer":{"target_wer":1e-6,"samples":600,"seed":9}}"#,
+        )
+        .unwrap();
+        let wer = request.wer.clone().expect("wer knobs");
+        let body = execute_wer_tail(&request, &wer);
+        assert_eq!(body, execute_wer_tail(&request, &wer), "non-deterministic");
+        assert!(body.ends_with('\n'));
+        let parsed = JsonValue::parse(&body).expect("valid JSON");
+        assert_eq!(
+            parsed.get("analysis").and_then(JsonValue::as_str),
+            Some("wer_tail")
+        );
+        let tail = parsed.get("wer_tail").expect("wer_tail object");
+        let estimate = tail.get("wer").and_then(JsonValue::as_f64).expect("wer");
+        // Population WER sits a Jensen factor above the 1e-6 typical-die
+        // target; the interval must bracket the point estimate.
+        assert!(estimate > 1e-7 && estimate < 1e-4, "wer {estimate}");
+        let lo = tail.get("ci_lo").and_then(JsonValue::as_f64).expect("lo");
+        let hi = tail.get("ci_hi").and_then(JsonValue::as_f64).expect("hi");
+        assert!(lo > 0.0 && lo <= estimate && estimate <= hi, "[{lo}, {hi}]");
+        assert!(
+            tail.get("bf_equivalent_trials")
+                .and_then(JsonValue::as_f64)
+                .expect("bf-equivalent")
+                > 600.0
+        );
     }
 }

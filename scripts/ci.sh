@@ -273,11 +273,45 @@ grep -q '"speedup_vs_threads"' target/BENCH_report.json || {
     echo "BENCH report is missing the simd_mc section" >&2
     exit 1
 }
+# And the rare-event shmoo: the rare_event section carries the deep-tail
+# estimate with its samples-to-target-variance comparison against brute
+# force, plus the shallow-regime cross-check verdict.
+grep -q '"rare_event"' target/BENCH_report.json || {
+    echo "BENCH report is missing the rare_event section" >&2
+    exit 1
+}
+grep -q '"bf_equivalent_trials"' target/BENCH_report.json || {
+    echo "rare_event section is missing the brute-force-equivalence metric" >&2
+    exit 1
+}
 
 echo "==> lane-batched WER smoke: every lane width x jobs diffs exactly against scalar"
 # The differential mode reruns the WER grid for every supported lane
 # width x worker count (lanes=1 vs lanes=N included) and exits nonzero
 # on any divergence from the scalar serial reference.
 cargo run --offline -q --release -p nvff-bench --bin simd_mc -- --check
+
+echo "==> rare-event smoke: mini shmoo with brute-force cross-check"
+# The differential mode runs the quick surface (shallow cross-check
+# regime + deep tail), requires the variation-aware brute-force point to
+# land inside the importance sampler's 99% confidence interval, the deep
+# tail to resolve inside its sample budget, and the tilted sampler to
+# stay bit-identical across a jobs x lanes sweep. The statistically
+# verified differential suite itself (tests/rare_event.rs, plus the
+# proptested weight/ESS laws in tests/properties.rs) already ran above
+# under the pinned PROPTEST_SEED.
+cargo run --offline -q --release -p nvff-bench --bin shmoo -- --quick --check
+shmoo_json="target/ci_shmoo_report.json"
+cargo run --offline -q --release -p nvff-bench --bin shmoo -- --quick --json "$shmoo_json" \
+    >/dev/null
+cargo run --offline -q -p telemetry --example validate -- "$shmoo_json"
+grep -q '"rare_event"' "$shmoo_json" || {
+    echo "shmoo report is missing the rare_event section" >&2
+    exit 1
+}
+grep -q '"crosscheck_agrees":1' "$shmoo_json" || {
+    echo "shmoo cross-check did not agree with brute force" >&2
+    exit 1
+}
 
 echo "==> tier-1 gate passed"

@@ -4,7 +4,7 @@
 
 use mtj::{montecarlo, wer, MtjParams, VariationModel};
 use spintronic_ff::prelude::*;
-use units::{Current, Time};
+use units::{Current, Temperature, Time};
 
 /// The tentpole guarantee: a Monte-Carlo WER grid returns bit-identical
 /// estimates at `--jobs` 1, 4 and 8, and the aggregated trial counts
@@ -185,5 +185,113 @@ fn checkpointed_wer_campaign_resumes_bit_identically() {
     .expect("resume");
     assert_eq!(resumed.results, full.results);
     assert_eq!(resumed.summary.resumed, points.len());
+    let _ = std::fs::remove_file(&path);
+}
+
+/// A rare-event tail-surface campaign killed after k points and resumed
+/// from its checkpoint produces estimates and confidence intervals
+/// bit-identical to an uninterrupted run — the accumulator sums
+/// round-trip exactly through the `nvff-sweep-checkpoint/1` cells.
+#[test]
+fn interrupted_tail_surface_resumes_bit_identically() {
+    use mtj::rare::{self, SurfaceAxes, TailOptions};
+    use telemetry::JsonValue;
+
+    let nominal = MtjParams::date2018();
+    let variation = VariationModel::default();
+    let thermal = mtj::ThermalModel::default();
+    let drive = nominal.nominal_write_current();
+    let model = mtj::SwitchingModel::new(&nominal);
+    let axes = SurfaceAxes {
+        pulses: [1e-2, 1e-4]
+            .iter()
+            .map(|&t| wer::pulse_for_wer(&model, drive, t))
+            .collect(),
+        sigma_switching_currents: vec![0.05, 0.08],
+        temperatures: vec![Temperature::from_celsius(27.0)],
+    };
+    let opts = TailOptions {
+        samples: 400,
+        seed: 13,
+        jobs: 2,
+        lanes: 8,
+        pilot_rounds: 2,
+        pilot_samples: 128,
+        ..TailOptions::default()
+    };
+
+    let dir = std::env::temp_dir().join(format!("nvff-parallel-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("tail_surface.ckpt.json");
+    let _ = std::fs::remove_file(&path);
+    let policy = sweep::CheckpointPolicy {
+        path: path.clone(),
+        every: 1,
+        fingerprint: rare::surface_fingerprint(&axes, &opts),
+    };
+
+    let full = rare::tail_surface(
+        &nominal,
+        &variation,
+        &thermal,
+        drive,
+        &axes,
+        &opts,
+        Some(&policy),
+    )
+    .expect("full run");
+    assert_eq!(full.rows.len(), 4);
+    assert!(full.rows.iter().all(|r| r.estimate.samples == 400));
+
+    // Checkpointing itself does not perturb the numbers.
+    let direct = rare::tail_surface(&nominal, &variation, &thermal, drive, &axes, &opts, None)
+        .expect("direct run");
+    assert_eq!(direct.rows, full.rows);
+
+    // Simulate the kill after k = 1 completed points: rewrite the
+    // checkpoint with only the first point's cells.
+    let k = 1usize;
+    let text = std::fs::read_to_string(&path).expect("checkpoint");
+    let doc = JsonValue::parse(&text).expect("parse");
+    let done: Vec<JsonValue> = doc
+        .get("done")
+        .and_then(JsonValue::as_array)
+        .expect("done")
+        .iter()
+        .filter(|entry| entry.as_array().expect("pair")[0].as_i64().expect("index") < k as i64)
+        .cloned()
+        .collect();
+    assert_eq!(done.len(), k);
+    let truncated = JsonValue::object(vec![
+        (
+            "schema".into(),
+            JsonValue::Str(sweep::CHECKPOINT_SCHEMA.into()),
+        ),
+        (
+            "fingerprint".into(),
+            JsonValue::Int(policy.fingerprint as i64),
+        ),
+        ("points".into(), JsonValue::Int(4)),
+        ("base_seed".into(), JsonValue::Int(opts.seed as i64)),
+        ("done".into(), JsonValue::Array(done)),
+    ]);
+    std::fs::write(&path, truncated.to_json()).expect("rewrite");
+
+    // Resume under a different worker count: the restored point plus
+    // the re-executed remainder reproduce the uninterrupted surface
+    // exactly — weighted estimates, intervals, tilts, ESS, all of it.
+    let resumed_opts = TailOptions { jobs: 4, ..opts };
+    let resumed = rare::tail_surface(
+        &nominal,
+        &variation,
+        &thermal,
+        drive,
+        &axes,
+        &resumed_opts,
+        Some(&policy),
+    )
+    .expect("resume");
+    assert_eq!(resumed.summary.resumed, k);
+    assert_eq!(resumed.rows, full.rows);
     let _ = std::fs::remove_file(&path);
 }

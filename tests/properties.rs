@@ -1,7 +1,9 @@
 //! Property-based tests over the core invariants: non-volatility of the
 //! behavioral models, disjointness and threshold-respect of merge plans,
-//! legality of placements, and conservation through the substitution
-//! transform.
+//! legality of placements, conservation through the substitution
+//! transform, and the statistical identities of the rare-event
+//! importance sampler (weight unbiasedness, tilt invariance, ESS
+//! geometry).
 
 use merge::pairing::{self, FlipFlopPoint, Strategy};
 use netlist::{CellKind, CellLibrary, Netlist};
@@ -390,5 +392,147 @@ proptest! {
             adaptive.solver_stats().accepted_steps <= fixed.solver_stats().accepted_steps,
             "adaptive took more steps than the uniform grid"
         );
+    }
+
+    /// Likelihood-ratio weights of the rare-event sampler average to 1
+    /// under the nominal measure for any tilt — the identity
+    /// `E_{ε~N(0,I)}[exp(−μ·ε − |μ|²/2)] = 1` that makes the tilted
+    /// estimator unbiased. The acceptance band is self-calibrated from
+    /// the weights' own sampled spread (6σ of the mean), so a
+    /// systematic bias fails while honest Monte-Carlo noise passes.
+    #[test]
+    fn likelihood_ratio_weights_average_to_one(
+        mu0 in -0.8f64..0.8,
+        mu1 in -0.8f64..0.8,
+        mu2 in -0.8f64..0.8,
+        seed in any::<u64>(),
+    ) {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+
+        fn normal(rng: &mut StdRng) -> f64 {
+            loop {
+                let u1: f64 = rng.random();
+                let u2: f64 = rng.random();
+                if u1 > f64::MIN_POSITIVE {
+                    return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                }
+            }
+        }
+
+        let tilt = mtj::rare::Tilt { mu: [mu0, mu1, mu2] };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = 4000usize;
+        let weights: Vec<f64> = (0..n)
+            .map(|_| tilt.weight([normal(&mut rng), normal(&mut rng), normal(&mut rng)]))
+            .collect();
+        let mean = weights.iter().sum::<f64>() / n as f64;
+        let var = weights.iter().map(|w| (w - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0);
+        let band = 6.0 * (var / n as f64).sqrt() + 1e-12;
+        prop_assert!(
+            (mean - 1.0).abs() <= band,
+            "tilt {:?}: mean weight {mean} outside 1 ± {band}",
+            tilt.mu
+        );
+        // The weights also satisfy the pointwise reflection identity
+        // w_μ(ε)·w_μ(−ε) = exp(−|μ|²), exactly.
+        let eps = [normal(&mut rng), normal(&mut rng), normal(&mut rng)];
+        let product = tilt.log_weight(eps) + tilt.log_weight([-eps[0], -eps[1], -eps[2]]);
+        prop_assert!((product + tilt.magnitude().powi(2)).abs() < 1e-12);
+    }
+
+    /// The rare-event WER estimator is invariant to the tilt choice
+    /// within confidence intervals: any tilt magnitude estimates the
+    /// same population WER, only with different variance.
+    #[test]
+    fn tilted_wer_estimate_is_invariant_to_tilt_choice(
+        shift in 0.0f64..2.0,
+        seed in 0u64..1_000,
+    ) {
+        use mtj::rare::{self, TailEnv, TailOptions, Tilt};
+        use mtj::{wer, MtjParams, VariationModel};
+
+        let params = MtjParams::date2018();
+        let drive = params.nominal_write_current();
+        let env = TailEnv::new(&params, VariationModel::default(), drive);
+        let pulse = wer::pulse_for_wer(&env.reference_model(), drive, 1e-3);
+        let run = |tilt: Tilt, s: u64| {
+            rare::accumulate_tilted(
+                &env,
+                pulse,
+                tilt,
+                &TailOptions {
+                    samples: 1500,
+                    seed: s,
+                    jobs: 1,
+                    lanes: 4,
+                    tilt: Some(tilt),
+                    ..TailOptions::default()
+                },
+            )
+            .0
+            .estimate(0.99)
+        };
+        let flat = run(Tilt::ZERO, seed);
+        let tilted = run(Tilt::along_switching_current(shift), seed.wrapping_add(1));
+        let pooled = (flat.std_error.powi(2) + tilted.std_error.powi(2)).sqrt();
+        prop_assert!(
+            (flat.wer - tilted.wer).abs() <= 5.0 * pooled + 1e-12,
+            "shift {shift}: flat {} vs tilted {} (pooled se {pooled})",
+            flat.wer,
+            tilted.wer
+        );
+    }
+
+    /// On common draws, the weight effective sample size is maximal at
+    /// zero tilt (its optimum) and strictly monotone decreasing in tilt
+    /// magnitude past it — `d/dt log ESS(t) = 2[M(t) − M(2t)] < 0` for
+    /// the log-sum-exp mean M, for any fixed draw set and direction.
+    #[test]
+    fn weight_ess_decreases_monotonically_past_its_optimum(
+        d0 in -1.0f64..1.0,
+        d1 in -1.0f64..1.0,
+        d2 in -1.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+
+        let norm = (d0 * d0 + d1 * d1 + d2 * d2).sqrt();
+        prop_assume!(norm > 0.1);
+        let unit = [d0 / norm, d1 / norm, d2 / norm];
+
+        fn normal(rng: &mut StdRng) -> f64 {
+            loop {
+                let u1: f64 = rng.random();
+                let u2: f64 = rng.random();
+                if u1 > f64::MIN_POSITIVE {
+                    return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                }
+            }
+        }
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let draws: Vec<[f64; 3]> = (0..400)
+            .map(|_| [normal(&mut rng), normal(&mut rng), normal(&mut rng)])
+            .collect();
+        let ess_at = |t: f64| {
+            let tilt = mtj::rare::Tilt {
+                mu: [t * unit[0], t * unit[1], t * unit[2]],
+            };
+            let weights: Vec<f64> = draws.iter().map(|&eps| tilt.weight(eps)).collect();
+            mtj::rare::effective_sample_size(&weights)
+        };
+        let ladder: Vec<f64> = [0.0, 0.4, 0.8, 1.2, 1.8, 2.4, 3.0]
+            .iter()
+            .map(|&t| ess_at(t))
+            .collect();
+        prop_assert!((ladder[0] - 400.0).abs() < 1e-9, "ESS at the optimum is n");
+        for (k, pair) in ladder.windows(2).enumerate() {
+            prop_assert!(
+                pair[1] < pair[0] + 1e-9,
+                "ESS not decreasing at rung {k}: {ladder:?}"
+            );
+        }
     }
 }
